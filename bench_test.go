@@ -1,0 +1,404 @@
+// Benchmarks reproducing the paper's evaluation (Sec. 6) as testing.B
+// targets — one benchmark per table/figure, with sub-benchmarks per
+// strategy. The cmd/benchrunner binary runs the same experiments as full
+// parameter sweeps; these benchmarks measure the representative operation
+// of each figure at one fixed configuration.
+package aggcache_test
+
+import (
+	"sync"
+	"testing"
+
+	"aggcache/internal/column"
+	"aggcache/internal/core"
+	"aggcache/internal/query"
+	"aggcache/internal/workload"
+)
+
+// erpScenario lazily builds the shared ERP dataset used by the join
+// benchmarks: mains loaded, a 10k-row item delta pending.
+type erpScenario struct {
+	once sync.Once
+	erp  *workload.ERP
+	mgr  *core.Manager
+	q    *query.Query
+	err  error
+}
+
+var joinScenario erpScenario
+
+func (s *erpScenario) get(b *testing.B) (*workload.ERP, *core.Manager, *query.Query) {
+	b.Helper()
+	s.once.Do(func() {
+		cfg := workload.DefaultERPConfig()
+		cfg.Headers = 10000
+		s.erp, s.err = workload.BuildERP(cfg)
+		if s.err != nil {
+			return
+		}
+		if s.err = s.erp.InsertBusinessObjects(1000); s.err != nil {
+			return
+		}
+		s.mgr = core.NewManager(s.erp.DB, s.erp.Reg, core.Config{})
+		s.q = s.erp.ProfitQuery(cfg.BaseYear+cfg.Years-1, cfg.Languages[0])
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.erp, s.mgr, s.q
+}
+
+// BenchmarkFig6MaintenanceStrategies measures the per-operation costs the
+// Fig. 6 mixed workload is built from: a read and an insert under each
+// maintenance strategy.
+func BenchmarkFig6MaintenanceStrategies(b *testing.B) {
+	cfg := workload.ERPConfig{
+		Headers: 5000, ItemsPerHeader: 5, Categories: 100,
+		Languages: []string{"ENG"}, Years: 3, Seed: 11,
+	}
+	newERP := func(b *testing.B) *workload.ERP {
+		erp, err := workload.BuildERP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return erp
+	}
+	insertItem := func(b *testing.B, erp *workload.ERP, view *core.MaterializedView) {
+		row := erp.NewItemRow(1 + int64(b.N%cfg.Headers))
+		tx := erp.DB.Txns().Begin()
+		row[erp.ItemCol("TidItem")] = column.IntV(int64(tx.ID()))
+		if err := erp.Reg.FillChildTIDs(workload.TItem, row); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := erp.DB.MustTable(workload.TItem).Insert(tx, row); err != nil {
+			b.Fatal(err)
+		}
+		tx.Commit()
+		if view != nil {
+			if err := view.OnInsert(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	for _, mode := range []core.MaintenanceMode{core.Eager, core.Lazy} {
+		b.Run(mode.String()+"/insert", func(b *testing.B) {
+			erp := newERP(b)
+			view, err := core.NewMaterializedView(erp.DB, erp.ItemRevenueQuery(), mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				insertItem(b, erp, view)
+			}
+		})
+		b.Run(mode.String()+"/read", func(b *testing.B) {
+			erp := newERP(b)
+			view, err := core.NewMaterializedView(erp.DB, erp.ItemRevenueQuery(), mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.ReadRows(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("aggregate-cache/insert", func(b *testing.B) {
+		erp := newERP(b)
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		if _, _, err := mgr.Execute(erp.ItemRevenueQuery(), core.CachedNoPruning); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			insertItem(b, erp, nil)
+		}
+	})
+	b.Run("aggregate-cache/read", func(b *testing.B) {
+		erp := newERP(b)
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		q := erp.ItemRevenueQuery()
+		if _, _, err := mgr.Execute(q, core.CachedNoPruning); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mgr.ExecuteRows(q, core.CachedNoPruning); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSec62MemoryOverhead builds the ERP dataset and reports the tid
+// columns' share of the store footprint as custom metrics.
+func BenchmarkSec62MemoryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		erp, err := workload.BuildERP(workload.ERPConfig{
+			Headers: 5000, ItemsPerHeader: 10, Categories: 200,
+			Languages: []string{"ENG", "GER", "FRA"}, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total, tid uint64
+		for name, cols := range map[string][]string{
+			workload.THeader:   {"TidHeader"},
+			workload.TItem:     {"TidItem", "TidHeader", "TidCategory"},
+			workload.TCategory: {"TidCategory"},
+		} {
+			t := erp.DB.MustTable(name)
+			isTID := map[int]bool{}
+			for _, c := range cols {
+				isTID[t.Schema().MustColIndex(c)] = true
+			}
+			for _, p := range t.Partitions() {
+				for ci := range t.Schema().Cols {
+					n := p.Main.Col(ci).MemBytes()
+					total += n
+					if isTID[ci] {
+						tid += n
+					}
+				}
+			}
+		}
+		b.ReportMetric(100*float64(tid)/float64(total-tid), "tid-overhead-%")
+	}
+}
+
+// BenchmarkSec63InsertOverhead measures item inserts bare, with the
+// referential-integrity lookup, and with full MD enforcement.
+func BenchmarkSec63InsertOverhead(b *testing.B) {
+	build := func(b *testing.B) *workload.ERP {
+		erp, err := workload.BuildERP(workload.ERPConfig{
+			Headers: 10000, ItemsPerHeader: 1, Categories: 100,
+			Languages: []string{"ENG"}, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return erp
+	}
+	b.Run("bare", func(b *testing.B) {
+		erp := build(b)
+		item := erp.DB.MustTable(workload.TItem)
+		ti, th := erp.ItemCol("TidItem"), erp.ItemCol("TidHeader")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := erp.NewItemRow(1 + int64(i%10000))
+			tx := erp.DB.Txns().Begin()
+			row[ti] = column.IntV(int64(tx.ID()))
+			row[th] = row[ti]
+			if _, err := item.Insert(tx, row); err != nil {
+				b.Fatal(err)
+			}
+			tx.Commit()
+		}
+	})
+	b.Run("with-md-enforcement", func(b *testing.B) {
+		erp := build(b)
+		item := erp.DB.MustTable(workload.TItem)
+		ti := erp.ItemCol("TidItem")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := erp.NewItemRow(1 + int64(i%10000))
+			tx := erp.DB.Txns().Begin()
+			row[ti] = column.IntV(int64(tx.ID()))
+			if err := erp.Reg.FillChildTIDs(workload.TItem, row); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := item.Insert(tx, row); err != nil {
+				b.Fatal(err)
+			}
+			tx.Commit()
+		}
+	})
+}
+
+// BenchmarkFig7JoinPruning measures the three-table profit query per
+// strategy with a 10k-row item delta pending.
+func BenchmarkFig7JoinPruning(b *testing.B) {
+	_, mgr, q := joinScenario.get(b)
+	for _, s := range core.Strategies() {
+		b.Run(s.String(), func(b *testing.B) {
+			if s != core.Uncached {
+				if _, _, err := mgr.Execute(q, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mgr.Execute(q, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8GrowingDelta measures the same query while the benchmark
+// itself keeps inserting — each iteration interleaves one business-object
+// insert with one cached query, so the delta grows as in Fig. 8.
+func BenchmarkFig8GrowingDelta(b *testing.B) {
+	cfg := workload.DefaultERPConfig()
+	cfg.Headers = 10000
+	erp, err := workload.BuildERP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	q := erp.ProfitQuery(cfg.BaseYear+cfg.Years-1, cfg.Languages[0])
+	if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := erp.InsertBusinessObject(cfg.ItemsPerHeader); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// chScenario lazily builds the CH-benCHmark database for Fig. 9.
+type chScenario struct {
+	once sync.Once
+	ch   *workload.CH
+	mgr  *core.Manager
+	err  error
+}
+
+var fig9Scenario chScenario
+
+func (s *chScenario) get(b *testing.B) (*workload.CH, *core.Manager) {
+	b.Helper()
+	s.once.Do(func() {
+		cfg := workload.DefaultCHConfig()
+		s.ch, s.err = workload.BuildCH(cfg)
+		if s.err != nil {
+			return
+		}
+		s.mgr = core.NewManager(s.ch.DB, s.ch.Reg, core.Config{})
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.ch, s.mgr
+}
+
+// BenchmarkFig9CHBench measures the four CH-benCHmark queries per strategy.
+func BenchmarkFig9CHBench(b *testing.B) {
+	ch, mgr := fig9Scenario.get(b)
+	for _, name := range []string{"Q3", "Q5", "Q9", "Q10"} {
+		q := ch.Queries()[name]
+		for _, s := range core.Strategies() {
+			b.Run(name+"/"+s.String(), func(b *testing.B) {
+				if s != core.Uncached {
+					if _, _, err := mgr.Execute(q, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := mgr.Execute(q, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10PredicatePushdown measures the unprunable
+// Header_delta x Item_main subjoin with and without the MD-derived
+// tid-range filters.
+func BenchmarkFig10PredicatePushdown(b *testing.B) {
+	cfg := workload.DefaultERPConfig()
+	cfg.Headers = 10000
+	erp, err := workload.BuildERP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The Fig. 5 overlap: headers in delta, their items merged to main.
+	if err := erp.InsertBusinessObjects(200); err != nil {
+		b.Fatal(err)
+	}
+	if err := erp.DB.MergeTables(false, workload.TItem); err != nil {
+		b.Fatal(err)
+	}
+	ex := &query.Executor{DB: erp.DB}
+	q := erp.YearRangeQuery(cfg.BaseYear, cfg.BaseYear+cfg.Years)
+	combo := query.Combo{
+		{Table: workload.THeader, Part: 0, Main: false},
+		{Table: workload.TItem, Part: 0, Main: true},
+	}
+	snap := erp.DB.Txns().ReadSnapshot()
+	filters, ok := erp.Reg.PushdownFilters(q, combo)
+	if !ok {
+		b.Fatal("no pushdown filters derived")
+	}
+	b.Run("regular-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := query.NewAggTable(q.Aggs)
+			var st query.Stats
+			if err := ex.ExecuteCombo(q, combo, snap, nil, out, &st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("predicate-pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := query.NewAggTable(q.Aggs)
+			var st query.Stats
+			if err := ex.ExecuteCombo(q, combo, snap, filters, out, &st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig11HotCold measures the two-table aggregate per strategy over
+// the unpartitioned and the hot/cold-partitioned layout.
+func BenchmarkFig11HotCold(b *testing.B) {
+	for _, layout := range []struct {
+		name      string
+		coldShare float64
+	}{
+		{"unpartitioned", 0},
+		{"hot-cold", 0.75},
+	} {
+		cfg := workload.DefaultERPConfig()
+		cfg.Headers = 10000
+		cfg.ColdShare = layout.coldShare
+		erp, err := workload.BuildERP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := erp.InsertBusinessObjects(200); err != nil {
+			b.Fatal(err)
+		}
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		q := erp.YearRangeQuery(cfg.BaseYear+cfg.Years-1, cfg.BaseYear+cfg.Years)
+		for _, s := range []core.Strategy{core.Uncached, core.CachedNoPruning, core.CachedFullPruning} {
+			b.Run(layout.name+"/"+s.String(), func(b *testing.B) {
+				if s != core.Uncached {
+					if _, _, err := mgr.Execute(q, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := mgr.Execute(q, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

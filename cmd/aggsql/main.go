@@ -1,0 +1,259 @@
+// Command aggsql is an interactive SQL shell over the aggregate-cache
+// engine, preloaded with one of the demo datasets. It exists to poke at the
+// system by hand: run aggregate queries under different execution
+// strategies, grow the deltas, trigger merges, and watch the subjoin
+// pruning statistics.
+//
+// Usage:
+//
+//	aggsql                       # ERP dataset, interactive shell
+//	aggsql -dataset ch           # CH-benCHmark dataset
+//	aggsql -c "SELECT ..."       # one statement, then exit
+//
+// Shell commands:
+//
+//	\tables              list tables with row counts
+//	\strategy <name>     uncached | none | empty | full (default full)
+//	\insert <n>          insert n business objects / orders into the deltas
+//	\merge               synchronized delta merge of the transactional tables
+//	\cache               show aggregate cache entries and metrics
+//	\help                this text
+//	\quit                exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aggcache/internal/core"
+	"aggcache/internal/query"
+	"aggcache/internal/sql"
+	"aggcache/internal/table"
+	"aggcache/internal/workload"
+)
+
+// shell bundles the loaded dataset with the cache manager and session
+// state.
+type shell struct {
+	db       *table.DB
+	mgr      *core.Manager
+	strategy core.Strategy
+	// insert grows the transactional deltas by n business objects.
+	insert func(n int) error
+	// mergeTables are the related transactional tables merged together.
+	mergeTables []string
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "erp", "erp or ch")
+		stmt    = flag.String("c", "", "execute one statement and exit")
+	)
+	flag.Parse()
+
+	sh, err := load(*dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *stmt != "" {
+		if err := sh.runStatement(*stmt); err != nil {
+			fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("aggsql: %s dataset loaded; \\help for commands\n", *dataset)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("aggsql> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, "\\"):
+			if done := sh.runCommand(trimmed); done {
+				return
+			}
+			fmt.Print("aggsql> ")
+			continue
+		case buf.Len() == 0 && trimmed == "":
+			fmt.Print("aggsql> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			if err := sh.runStatement(buf.String()); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			buf.Reset()
+			fmt.Print("aggsql> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+}
+
+func load(dataset string) (*shell, error) {
+	switch dataset {
+	case "erp":
+		cfg := workload.DefaultERPConfig()
+		cfg.Headers = 20000
+		erp, err := workload.BuildERP(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &shell{
+			db:          erp.DB,
+			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{}),
+			strategy:    core.CachedFullPruning,
+			insert:      erp.InsertBusinessObjects,
+			mergeTables: []string{workload.THeader, workload.TItem},
+		}, nil
+	case "ch":
+		ch, err := workload.BuildCH(workload.DefaultCHConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &shell{
+			db:       ch.DB,
+			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{}),
+			strategy: core.CachedFullPruning,
+			insert: func(n int) error {
+				for i := 0; i < n; i++ {
+					if err := ch.InsertOrder(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			mergeTables: []string{workload.TOrders, workload.TNewOrder, workload.TOrderline},
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q (erp or ch)", dataset)
+}
+
+func (sh *shell) runStatement(stmt string) error {
+	st, err := sql.Parse(sh.db, stmt)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, info, err := sh.mgr.Execute(st.Query, sh.strategy)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	printResult(st, res)
+	fmt.Printf("-- %d group(s) in %s [%s: hit=%v subjoins %d/%d, md-pruned %d, empty-pruned %d, pushdowns %d]\n",
+		res.Groups(), elapsed.Round(10*time.Microsecond), info.Strategy, info.CacheHit,
+		info.Stats.Executed, info.Stats.Subjoins, info.Stats.PrunedMD,
+		info.Stats.PrunedEmpty, info.Stats.Pushdowns)
+	return nil
+}
+
+func printResult(st *sql.Statement, res *query.AggTable) {
+	rows := st.Rows(res)
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, st.Columns)
+	for _, vals := range rows {
+		line := make([]string, len(vals))
+		for i, v := range vals {
+			line[i] = v.String()
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(st.Columns))
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range cells {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println(strings.Join(parts, "  "))
+		if ri == 0 {
+			fmt.Println(strings.Repeat("-", len(strings.Join(parts, "  "))))
+		}
+	}
+}
+
+// runCommand handles backslash commands; it reports whether to exit.
+func (sh *shell) runCommand(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\help":
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \quit`)
+	case "\\tables":
+		for _, name := range sh.db.TableNames() {
+			t := sh.db.MustTable(name)
+			main, delta := 0, 0
+			for _, p := range t.Partitions() {
+				main += p.Main.Rows()
+				delta += p.Delta.Rows()
+			}
+			fmt.Printf("  %-18s main=%8d  delta=%6d  partitions=%d\n",
+				name, main, delta, len(t.Partitions()))
+		}
+	case "\\strategy":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\strategy <uncached|none|empty|full>")
+			break
+		}
+		switch fields[1] {
+		case "uncached":
+			sh.strategy = core.Uncached
+		case "none":
+			sh.strategy = core.CachedNoPruning
+		case "empty":
+			sh.strategy = core.CachedEmptyDelta
+		case "full":
+			sh.strategy = core.CachedFullPruning
+		default:
+			fmt.Printf("unknown strategy %q\n", fields[1])
+			return false
+		}
+		fmt.Printf("strategy = %s\n", sh.strategy)
+	case "\\insert":
+		n := 100
+		if len(fields) == 2 {
+			if v, err := strconv.Atoi(fields[1]); err == nil {
+				n = v
+			}
+		}
+		start := time.Now()
+		if err := sh.insert(n); err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("inserted %d business objects in %s\n", n, time.Since(start).Round(time.Millisecond))
+	case "\\merge":
+		start := time.Now()
+		if err := sh.db.MergeTables(false, sh.mergeTables...); err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("merged %s in %s\n", strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
+	case "\\cache":
+		fmt.Printf("entries=%d totalBytes=%d\n", sh.mgr.Len(), sh.mgr.SizeBytes())
+	default:
+		fmt.Printf("unknown command %s (\\help)\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Command benchrunner regenerates the paper's evaluation tables and
+// figures. Each experiment prints the same series the corresponding figure
+// plots, in milliseconds and (with -normalize) as normalized execution
+// times.
+//
+// Usage:
+//
+//	benchrunner -exp fig7            # one experiment, full scale
+//	benchrunner -exp all -quick      # every experiment, scaled down
+//	benchrunner -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aggcache/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (fig6, mem, insert, fig7, fig8, fig9, fig10, fig11) or 'all'")
+		quick     = flag.Bool("quick", false, "run the scaled-down configurations")
+		normalize = flag.Bool("normalize", false, "additionally print normalized execution times (as the paper plots)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		res, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		if *normalize {
+			res.Normalized().Render(os.Stdout)
+		}
+	}
+}

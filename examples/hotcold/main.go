@@ -1,0 +1,76 @@
+// Hot/cold multi-partition aging: paper Sec. 5.4 and Fig. 11.
+//
+// The same header/item dataset is created twice — once unpartitioned, once
+// range-partitioned into a small hot and a large cold partition by
+// insertion time. With four stores per table, a two-table join has sixteen
+// subjoin combinations; dynamic pruning over the tid matching dependency
+// eliminates the cross-temperature and cross-store pairs, keeping cached
+// query processing an order of magnitude faster in both layouts.
+//
+// Run with: go run ./examples/hotcold
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aggcache/internal/core"
+	"aggcache/internal/workload"
+)
+
+func main() {
+	for _, layout := range []struct {
+		name      string
+		coldShare float64
+	}{
+		{"unpartitioned", 0},
+		{"hot/cold 1:3", 0.75},
+	} {
+		cfg := workload.DefaultERPConfig()
+		cfg.Headers = 20000
+		cfg.ColdShare = layout.coldShare
+		erp, err := workload.BuildERP(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Recent activity: new objects land in the (hot) delta.
+		if err := erp.InsertBusinessObjects(500); err != nil {
+			log.Fatal(err)
+		}
+
+		hdr := erp.DB.MustTable(workload.THeader)
+		fmt.Printf("\n== layout: %s ==\n", layout.name)
+		for _, p := range hdr.Partitions() {
+			name := p.Name
+			if name == "" {
+				name = "(single)"
+			}
+			fmt.Printf("  header partition %-8s main=%6d rows, delta=%4d rows\n",
+				name, p.Main.Rows(), p.Delta.Rows())
+		}
+
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		q := erp.YearRangeQuery(cfg.BaseYear+cfg.Years-1, cfg.BaseYear+cfg.Years)
+
+		fmt.Printf("  %-28s %12s %26s\n", "strategy", "time", "subjoins exec/total (pruned)")
+		for _, s := range []core.Strategy{core.Uncached, core.CachedNoPruning, core.CachedFullPruning} {
+			if s != core.Uncached {
+				if _, _, err := mgr.Execute(q, s); err != nil {
+					log.Fatal(err)
+				}
+			}
+			start := time.Now()
+			_, info, err := mgr.Execute(q, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-28s %12s %15d/%d (%d)\n",
+				s, time.Since(start).Round(10*time.Microsecond),
+				info.Stats.Executed, info.Stats.Subjoins,
+				info.Stats.PrunedMD+info.Stats.PrunedEmpty)
+		}
+	}
+	fmt.Println("\nnote how partitioning grows the subjoin count (4 stores per table)")
+	fmt.Println("while full pruning keeps the executed count at one or two.")
+}

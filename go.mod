@@ -1,0 +1,3 @@
+module aggcache
+
+go 1.22

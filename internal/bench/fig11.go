@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/core"
+	"aggcache/internal/expr"
+	"aggcache/internal/query"
+	"aggcache/internal/workload"
+)
+
+// fig11Config sizes the hot/cold multi-partition experiment: the same
+// header/item dataset once unpartitioned and once split 1:3 hot:cold, with
+// aggregate queries of varying selectivity (paper Fig. 11).
+type fig11Config struct {
+	erp          workload.ERPConfig
+	deltaObjects int
+	// selectivities are the shares of the item table each query
+	// aggregates (the paper sweeps 100k - 25M of 330M records).
+	selectivities []float64
+	reps          int
+}
+
+func fig11Quick() fig11Config {
+	cfg := workload.DefaultERPConfig()
+	cfg.Headers = 5000
+	return fig11Config{erp: cfg, deltaObjects: 100, selectivities: []float64{0.01, 0.1, 0.25}, reps: 2}
+}
+
+func fig11Full() fig11Config {
+	cfg := workload.DefaultERPConfig()
+	cfg.Headers = 100000
+	return fig11Config{erp: cfg, deltaObjects: 1000,
+		selectivities: []float64{0.001, 0.01, 0.05, 0.1, 0.25}, reps: 3}
+}
+
+// headerRangeQuery aggregates the items of headers with id in [1, hi] —
+// the selectivity knob (headers are loaded in insertion order, so an id
+// prefix is a time prefix, matching an aging scenario).
+func headerRangeQuery(hi int64) *query.Query {
+	return &query.Query{
+		Tables: []string{workload.THeader, workload.TItem},
+		Joins: []query.JoinEdge{
+			{Left: query.ColRef{Table: workload.THeader, Col: "HeaderID"}, Right: query.ColRef{Table: workload.TItem, Col: "HeaderID"}},
+		},
+		Filters: map[string]expr.Pred{
+			workload.THeader: expr.Cmp{Col: "HeaderID", Op: expr.Le, Val: column.IntV(hi)},
+		},
+		GroupBy: []query.ColRef{{Table: workload.TItem, Col: "CategoryID"}},
+		Aggs: []query.AggSpec{
+			{Func: query.Sum, Col: query.ColRef{Table: workload.TItem, Col: "Price"}, As: "Revenue"},
+		},
+	}
+}
+
+// RunFig11 measures uncached, cached-without-pruning, and full-pruning
+// execution over an unpartitioned and a hot/cold-partitioned layout of the
+// same data, across query selectivities.
+func RunFig11(quick bool) (*Result, error) {
+	cfg := fig11Full()
+	if quick {
+		cfg = fig11Quick()
+	}
+	res := &Result{
+		ID:      "fig11",
+		Title:   "Join strategies: no partitioning vs hot/cold partitioning",
+		XLabel:  "aggregated item rows",
+		YLabel:  "query ms",
+		XFormat: "%.0f",
+	}
+	strats := []core.Strategy{core.Uncached, core.CachedNoPruning, core.CachedFullPruning}
+	layouts := []struct {
+		label     string
+		coldShare float64
+	}{
+		{label: "unpartitioned", coldShare: 0},
+		{label: "hot/cold", coldShare: 0.75},
+	}
+	for _, layout := range layouts {
+		erpCfg := cfg.erp
+		erpCfg.ColdShare = layout.coldShare
+		erp, err := workload.BuildERP(erpCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := erp.InsertBusinessObjects(cfg.deltaObjects); err != nil {
+			return nil, err
+		}
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		for _, sel := range cfg.selectivities {
+			hi := int64(float64(erpCfg.Headers) * sel)
+			if hi < 1 {
+				hi = 1
+			}
+			q := headerRangeQuery(hi)
+			x := float64(hi * int64(erpCfg.ItemsPerHeader))
+			for _, s := range strats {
+				if s != core.Uncached {
+					if _, _, err := mgr.Execute(q, s); err != nil {
+						return nil, err
+					}
+				}
+				ms, err := minOf(cfg.reps, func() error {
+					_, _, err := mgr.Execute(q, s)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				label := fmt.Sprintf("%s / %s", s, layout.label)
+				res.addPoint(label, Point{X: x, Y: ms})
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: uncached is slightly faster when partitioned (reduced scans); cached without pruning is slower when partitioned (more subjoins); full pruning wins by ~10x in both layouts")
+	return res, nil
+}
+
+// addPoint appends a point to the named series, creating it on first use.
+func (r *Result) addPoint(label string, p Point) {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			r.Series[i].Points = append(r.Series[i].Points, p)
+			return
+		}
+	}
+	r.Series = append(r.Series, Series{Label: label, Points: []Point{p}})
+}

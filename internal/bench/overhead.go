@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"aggcache/internal/column"
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+	"aggcache/internal/workload"
+)
+
+// rowTID wraps a transaction id as a column value.
+func rowTID(t txn.TID) column.Value { return column.IntV(int64(t)) }
+
+// tidColumns lists the five temporal attributes the object-aware design
+// adds (paper Sec. 6.2): Header[tidHeader], Item[tidItem, tidHeader,
+// tidCategory], ProductCategory[tidCategory].
+var tidColumns = map[string][]string{
+	workload.THeader:   {"TidHeader"},
+	workload.TItem:     {"TidItem", "TidHeader", "TidCategory"},
+	workload.TCategory: {"TidCategory"},
+}
+
+// storeBytes sums total and tid-column bytes over the selected stores.
+func storeBytes(db *table.DB, mains bool) (total, tid uint64) {
+	for name, tids := range tidColumns {
+		t := db.MustTable(name)
+		isTID := map[int]bool{}
+		for _, c := range tids {
+			isTID[t.Schema().MustColIndex(c)] = true
+		}
+		for _, p := range t.Partitions() {
+			st := p.Delta
+			if mains {
+				st = p.Main
+			}
+			for i := range t.Schema().Cols {
+				b := st.Col(i).MemBytes()
+				total += b
+				if isTID[i] {
+					tid += b
+				}
+			}
+		}
+	}
+	return total, tid
+}
+
+// RunMemOverhead reproduces the Sec. 6.2 measurement: the memory overhead
+// of the added tid columns, for delta-resident data (unsorted dictionaries,
+// no compression) and main-resident data (sorted dictionaries, bit-packed
+// value IDs, better compression).
+func RunMemOverhead(quick bool) (*Result, error) {
+	headers := 27000 // ~2.7k headers/270k items in the paper's delta run, x10
+	deltaHeaders := 2700
+	if quick {
+		headers, deltaHeaders = 2000, 300
+	}
+
+	// Scenario 1: freshly inserted business objects resident in the delta.
+	erpDelta, err := workload.BuildERP(workload.ERPConfig{
+		Headers:        0,
+		ItemsPerHeader: 10,
+		Categories:     200,
+		Languages:      []string{"ENG", "GER", "FRA"},
+		Seed:           5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := erpDelta.InsertBusinessObjects(deltaHeaders); err != nil {
+		return nil, err
+	}
+	dTotal, dTID := storeBytes(erpDelta.DB, false)
+
+	// Scenario 2: the same schema with history merged into main.
+	erpMain, err := workload.BuildERP(workload.ERPConfig{
+		Headers:        headers,
+		ItemsPerHeader: 10,
+		Categories:     200,
+		Languages:      []string{"ENG", "GER", "FRA"},
+		Seed:           5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mTotal, mTID := storeBytes(erpMain.DB, true)
+
+	pct := func(tid, total uint64) float64 {
+		if total == tid {
+			return 0
+		}
+		return 100 * float64(tid) / float64(total-tid)
+	}
+	res := &Result{
+		ID:      "mem",
+		Title:   "Memory overhead of the five tid columns",
+		XLabel:  "store (0=delta, 1=main)",
+		YLabel:  "KB / percent",
+		XFormat: "%.0f",
+		Series: []Series{
+			{Label: "with tids KB", Points: []Point{
+				{X: 0, Y: float64(dTotal) / 1024},
+				{X: 1, Y: float64(mTotal) / 1024},
+			}},
+			{Label: "without tids KB", Points: []Point{
+				{X: 0, Y: float64(dTotal-dTID) / 1024},
+				{X: 1, Y: float64(mTotal-mTID) / 1024},
+			}},
+			{Label: "overhead %", Points: []Point{
+				{X: 0, Y: pct(dTID, dTotal)},
+				{X: 1, Y: pct(mTID, mTotal)},
+			}},
+		},
+		Notes: []string{
+			fmt.Sprintf("delta overhead %.1f%% (paper: 13%%), main overhead %.1f%% (paper: 10%%)",
+				pct(dTID, dTotal), pct(mTID, mTotal)),
+			"main stores compress the tid columns via sorted dictionaries and bit-packed value IDs",
+		},
+	}
+	return res, nil
+}
+
+// RunInsertOverhead reproduces the Sec. 6.3 measurement: per-insert cost of
+// item inserts (a) bare, (b) with the referential-integrity lookup of the
+// header, and (c) with full matching-dependency enforcement (lookup plus
+// tid copy), for growing header-table sizes.
+func RunInsertOverhead(quick bool) (*Result, error) {
+	headerCounts := []int{10000, 50000, 100000}
+	inserts := 20000
+	if quick {
+		headerCounts = []int{1000, 5000}
+		inserts = 2000
+	}
+	res := &Result{
+		ID:     "insert",
+		Title:  "Item insert cost by enforcement level",
+		XLabel: "header rows",
+		YLabel: "us per insert",
+	}
+	variants := []string{"bare insert", "with RI check", "with RI + tid lookup (MD)"}
+	series := make([]Series, len(variants))
+	for i, v := range variants {
+		series[i].Label = v
+	}
+
+	reps := 3
+	for _, hc := range headerCounts {
+		for vi := range variants {
+			best := 0.0
+			for rep := 0; rep < reps; rep++ {
+				erp, err := workload.BuildERP(workload.ERPConfig{
+					Headers:        hc,
+					ItemsPerHeader: 1,
+					Categories:     100,
+					Languages:      []string{"ENG"},
+					Seed:           9,
+				})
+				if err != nil {
+					return nil, err
+				}
+				item := erp.DB.MustTable(workload.TItem)
+				hdr := erp.DB.MustTable(workload.THeader)
+				tidIdx := hdr.Schema().MustColIndex("TidHeader")
+				tidItemIdx := erp.ItemCol("TidItem")
+				tidHeaderIdx := erp.ItemCol("TidHeader")
+				// Pre-generate rows so string formatting stays outside the
+				// timed region.
+				rows := make([][]column.Value, inserts)
+				for k := range rows {
+					rows[k] = erp.NewItemRow(1 + int64(k%hc))
+				}
+				runtime.GC()
+				ms, err := timeIt(func() error {
+					for k := 0; k < inserts; k++ {
+						hid := 1 + int64(k%hc)
+						row := rows[k]
+						tx := erp.DB.Txns().Begin()
+						row[tidItemIdx] = rowTID(tx.ID())
+						switch vi {
+						case 1: // referential check: the header must exist
+							if _, ok := hdr.LookupPK(hid); !ok {
+								tx.Abort()
+								return fmt.Errorf("missing header %d", hid)
+							}
+							row[tidHeaderIdx] = row[tidItemIdx]
+						case 2: // full MD enforcement: check + tid copy
+							ref, ok := hdr.LookupPK(hid)
+							if !ok {
+								tx.Abort()
+								return fmt.Errorf("missing header %d", hid)
+							}
+							row[tidHeaderIdx] = hdr.Get(ref, tidIdx)
+						default:
+							row[tidHeaderIdx] = row[tidItemIdx]
+						}
+						if _, err := item.Insert(tx, row); err != nil {
+							tx.Abort()
+							return err
+						}
+						tx.Commit()
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			series[vi].Points = append(series[vi].Points,
+				Point{X: float64(hc), Y: best * 1000 / float64(inserts)})
+		}
+	}
+	res.Series = series
+	last := len(series[0].Points) - 1
+	bare, ri, mdv := series[0].Points[last].Y, series[1].Points[last].Y, series[2].Points[last].Y
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("at %d headers: bare = %.0f%% of RI insert (paper ~50%%); tid lookup adds %.0f%% over RI (paper: 20-30%% of the RI check)",
+			headerCounts[len(headerCounts)-1], 100*bare/ri, 100*(mdv-ri)/ri))
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package column
+
+// deltaCol is a write-optimized column: an unsorted append-order dictionary
+// with a hash index for O(1) encoding, plus an uncompressed value-ID vector.
+type deltaCol[T elem] struct {
+	dict  []T
+	index map[T]uint32
+	ids   []uint32
+	lo    T
+	hi    T
+}
+
+func newDeltaCol[T elem]() *deltaCol[T] {
+	return &deltaCol[T]{index: make(map[T]uint32)}
+}
+
+func (c *deltaCol[T]) Kind() Kind { return kindOf[T]() }
+
+func (c *deltaCol[T]) Len() int { return len(c.ids) }
+
+func (c *deltaCol[T]) Append(v Value) {
+	t := fromValue[T](v)
+	id, ok := c.index[t]
+	if !ok {
+		id = uint32(len(c.dict))
+		c.dict = append(c.dict, t)
+		c.index[t] = id
+		if len(c.dict) == 1 || t < c.lo {
+			c.lo = t
+		}
+		if len(c.dict) == 1 || t > c.hi {
+			c.hi = t
+		}
+	}
+	c.ids = append(c.ids, id)
+}
+
+func (c *deltaCol[T]) Value(row int) Value { return toValue(c.dict[c.ids[row]]) }
+
+func (c *deltaCol[T]) Int64(row int) int64 {
+	if v, ok := any(c.dict[c.ids[row]]).(int64); ok {
+		return v
+	}
+	panic("column: Int64 on non-int64 delta column")
+}
+
+func (c *deltaCol[T]) DictLen() int { return len(c.dict) }
+
+func (c *deltaCol[T]) ID(row int) uint32 { return c.ids[row] }
+
+func (c *deltaCol[T]) DictValue(id uint32) Value { return toValue(c.dict[id]) }
+
+func (c *deltaCol[T]) MinMax() (Value, Value, bool) {
+	if len(c.dict) == 0 {
+		return Value{}, Value{}, false
+	}
+	return toValue(c.lo), toValue(c.hi), true
+}
+
+func (c *deltaCol[T]) MemBytes() uint64 {
+	m := uint64(len(c.ids)) * 4
+	for _, v := range c.dict {
+		m += memOf(v) + 12 // dictionary entry + hash-index slot estimate
+	}
+	return m
+}

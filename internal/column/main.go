@@ -1,0 +1,163 @@
+package column
+
+import (
+	"sort"
+
+	"aggcache/internal/vec"
+)
+
+// mainCol is a frozen, read-optimized column: a sorted deduplicated
+// dictionary plus a compressed vector of value IDs (bit-packed or
+// run-length encoded, whichever is smaller).
+type mainCol[T elem] struct {
+	dict []T
+	ids  idVector
+}
+
+type mainBuilder[T elem] struct {
+	vals []T
+}
+
+func (b *mainBuilder[T]) Append(v Value) { b.vals = append(b.vals, fromValue[T](v)) }
+
+func (b *mainBuilder[T]) Build() Reader {
+	// Sort a copy to derive the dictionary, keeping row order intact.
+	sorted := make([]T, len(b.vals))
+	copy(sorted, b.vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	dict := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != dict[len(dict)-1] {
+			dict = append(dict, v)
+		}
+	}
+	maxID := uint64(0)
+	if len(dict) > 1 {
+		maxID = uint64(len(dict) - 1)
+	}
+	rowIDs := make([]uint32, len(b.vals))
+	for i, v := range b.vals {
+		// Binary search is exact: dict contains every distinct value.
+		lo, hi := 0, len(dict)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if dict[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rowIDs[i] = uint32(lo)
+	}
+	b.vals = nil
+	ids := buildIDVector(rowIDs, vec.BitsFor(maxID))
+	// Integer dictionaries get an extra compression step: the sorted
+	// entries are stored as bit-packed offsets from the smallest value.
+	// Dense domains — primary keys and especially the monotonically
+	// increasing tid columns of the object-aware design — shrink to a few
+	// bits per entry, mirroring the dictionary compression of a real
+	// columnar main store.
+	if intDict, ok := any(dict).([]int64); ok {
+		return newIntMain(intDict, ids)
+	}
+	return &mainCol[T]{dict: dict, ids: ids}
+}
+
+// intMain is the read-optimized int64 column: bit-packed value IDs over a
+// delta-compressed sorted dictionary (base value + packed offsets).
+type intMain struct {
+	base int64
+	offs *vec.Packed
+	ids  idVector
+	n    int // dictionary cardinality
+}
+
+func newIntMain(dict []int64, ids idVector) *intMain {
+	c := &intMain{ids: ids, n: len(dict)}
+	if len(dict) == 0 {
+		return c
+	}
+	c.base = dict[0]
+	span := uint64(dict[len(dict)-1]) - uint64(dict[0])
+	c.offs = vec.NewPacked(vec.BitsFor(span), len(dict))
+	for i, v := range dict {
+		c.offs.Set(i, uint64(v)-uint64(c.base))
+	}
+	return c
+}
+
+func (c *intMain) dictAt(id uint32) int64 {
+	return int64(uint64(c.base) + c.offs.Get(int(id)))
+}
+
+// Kind implements Reader.
+func (c *intMain) Kind() Kind { return Int64 }
+
+// Len implements Reader.
+func (c *intMain) Len() int { return c.ids.Len() }
+
+// Value implements Reader.
+func (c *intMain) Value(row int) Value { return IntV(c.dictAt(uint32(c.ids.Get(row)))) }
+
+// Int64 implements Reader.
+func (c *intMain) Int64(row int) int64 { return c.dictAt(uint32(c.ids.Get(row))) }
+
+// DictLen implements Reader.
+func (c *intMain) DictLen() int { return c.n }
+
+// ID implements Reader.
+func (c *intMain) ID(row int) uint32 { return uint32(c.ids.Get(row)) }
+
+// DictValue implements Reader.
+func (c *intMain) DictValue(id uint32) Value { return IntV(c.dictAt(id)) }
+
+// MinMax implements Reader.
+func (c *intMain) MinMax() (Value, Value, bool) {
+	if c.n == 0 {
+		return Value{}, Value{}, false
+	}
+	return IntV(c.dictAt(0)), IntV(c.dictAt(uint32(c.n - 1))), true
+}
+
+// MemBytes implements Reader.
+func (c *intMain) MemBytes() uint64 {
+	m := c.ids.MemBytes() + 8
+	if c.offs != nil {
+		m += c.offs.MemBytes()
+	}
+	return m
+}
+
+func (c *mainCol[T]) Kind() Kind { return kindOf[T]() }
+
+func (c *mainCol[T]) Len() int { return c.ids.Len() }
+
+func (c *mainCol[T]) Value(row int) Value { return toValue(c.dict[c.ids.Get(row)]) }
+
+func (c *mainCol[T]) Int64(row int) int64 {
+	if v, ok := any(c.dict[c.ids.Get(row)]).(int64); ok {
+		return v
+	}
+	panic("column: Int64 on non-int64 main column")
+}
+
+func (c *mainCol[T]) DictLen() int { return len(c.dict) }
+
+func (c *mainCol[T]) ID(row int) uint32 { return uint32(c.ids.Get(row)) }
+
+func (c *mainCol[T]) DictValue(id uint32) Value { return toValue(c.dict[id]) }
+
+func (c *mainCol[T]) MinMax() (Value, Value, bool) {
+	if len(c.dict) == 0 {
+		return Value{}, Value{}, false
+	}
+	return toValue(c.dict[0]), toValue(c.dict[len(c.dict)-1]), true
+}
+
+func (c *mainCol[T]) MemBytes() uint64 {
+	var m uint64 = c.ids.MemBytes()
+	for _, v := range c.dict {
+		m += memOf(v)
+	}
+	return m
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/expr"
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+	"aggcache/internal/vec"
+)
+
+// subtractRows removes the contribution of the given main-store rows from a
+// single-table cached aggregate — the negative half of main compensation.
+// Only rows passing the query's local filter contributed in the first
+// place, so the same filter gates the subtraction.
+func subtractRows(db *table.DB, q *query.Query, ref query.StoreRef, rows *vec.BitSet, value *query.AggTable) error {
+	if len(q.Tables) != 1 {
+		return fmt.Errorf("core: subtractRows on a %d-table query", len(q.Tables))
+	}
+	store := ref.Resolve(db)
+	sch := db.MustTable(ref.Table).Schema()
+	pred := q.Filters[ref.Table]
+	if pred == nil {
+		pred = expr.True{}
+	}
+	bound, err := pred.Bind(sch.ColIndex, store)
+	if err != nil {
+		return err
+	}
+	keyCols := make([]column.Reader, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		ci := sch.ColIndex(g.Col)
+		if ci < 0 {
+			return fmt.Errorf("core: unknown column %s", g)
+		}
+		keyCols[i] = store.Col(ci)
+	}
+	aggCols := make([]column.Reader, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Col.Col == "" {
+			continue
+		}
+		ci := sch.ColIndex(a.Col.Col)
+		if ci < 0 {
+			return fmt.Errorf("core: unknown column %s", a.Col)
+		}
+		aggCols[i] = store.Col(ci)
+	}
+	keys := make([]column.Value, len(keyCols))
+	vals := make([]column.Value, len(aggCols))
+	var applyErr error
+	rows.ForEachSet(func(row int) {
+		if applyErr != nil || !bound.Eval(row) {
+			return
+		}
+		for i, c := range keyCols {
+			keys[i] = c.Value(row)
+		}
+		for i, c := range aggCols {
+			if c != nil {
+				vals[i] = c.Value(row)
+			}
+		}
+		value.Sub(keys, vals)
+	})
+	return applyErr
+}

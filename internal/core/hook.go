@@ -1,0 +1,105 @@
+package core
+
+import (
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+)
+
+// mergeHook keeps cache entries consistent across delta-merge operations:
+// the incremental maintenance of the aggregate cache happens during the
+// online merge (paper Sec. 5.2). Before the store swap it settles pending
+// main compensation and folds the merging partition's delta rows into every
+// affected entry; after the swap it re-captures the visibility vector of
+// the new main store.
+type mergeHook struct {
+	m *Manager
+}
+
+func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.entries {
+		if e.Stale || !queryReferences(e.Query, tbl.Name()) {
+			continue
+		}
+		var st query.Stats
+		// Settle invalidations first so the fold starts from a value that
+		// matches the live main rows (joins go stale; rebuilt on access).
+		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st); err != nil || e.Stale {
+			e.Stale = true
+			continue
+		}
+		// Fold the merging delta against the other tables' main stores:
+		// exactly the subjoins the new, larger main will cover from now on.
+		combos := mergeFoldCombos(db, e.Query, tbl.Name(), part)
+		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st); err != nil {
+			e.Stale = true
+			continue
+		}
+		m.bytes -= e.Metrics.SizeBytes
+		e.Metrics.SizeBytes = e.Value.MemBytes()
+		m.bytes += e.Metrics.SizeBytes
+		e.Metrics.MainRows += st.TuplesJoined
+		e.Metrics.Maintenances++
+		e.SnapHigh = snap.High
+	}
+}
+
+func (h *mergeHook) AfterMerge(db *table.DB, tbl *table.Table, part int) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := db.Txns().ReadSnapshot()
+	ref := query.StoreRef{Table: tbl.Name(), Part: part, Main: true}
+	for _, e := range m.entries {
+		if e.Stale || !queryReferences(e.Query, tbl.Name()) {
+			continue
+		}
+		store := ref.Resolve(db)
+		e.MainVis[ref] = store.Visibility(snap)
+		e.MainInv[ref] = store.Invalidations()
+	}
+}
+
+func queryReferences(q *query.Query, tableName string) bool {
+	for _, t := range q.Tables {
+		if t == tableName {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeFoldCombos enumerates the subjoins that fold one partition's delta
+// into an entry: the merging table pinned to that delta store, every other
+// table ranging over its main stores.
+func mergeFoldCombos(db *table.DB, q *query.Query, mergingTable string, part int) []query.Combo {
+	perTable := make([][]query.StoreRef, len(q.Tables))
+	for i, name := range q.Tables {
+		if name == mergingTable {
+			perTable[i] = []query.StoreRef{{Table: name, Part: part, Main: false}}
+			continue
+		}
+		t := db.MustTable(name)
+		for pi := range t.Partitions() {
+			perTable[i] = append(perTable[i], query.StoreRef{Table: name, Part: pi, Main: true})
+		}
+	}
+	var out []query.Combo
+	combo := make(query.Combo, len(q.Tables))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perTable) {
+			out = append(out, append(query.Combo(nil), combo...))
+			return
+		}
+		for _, ref := range perTable[i] {
+			combo[i] = ref
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"aggcache/internal/expr"
+	"aggcache/internal/md"
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+	"aggcache/internal/vec"
+)
+
+// Config tunes the cache manager.
+type Config struct {
+	// CapacityBytes bounds the summed size of cached aggregate values;
+	// 0 means unlimited. When exceeded, the lowest-profit entries are
+	// evicted.
+	CapacityBytes uint64
+	// MinProfit is the admission threshold on Metrics.Profit; 0 admits
+	// every self-maintainable query.
+	MinProfit float64
+	// DisableJoinCompensation turns off negative-delta main compensation
+	// for join entries (the paper's Sec. 8 extension implemented here):
+	// with it disabled, a join entry whose main stores saw invalidations
+	// is rebuilt on next access instead of being compensated by
+	// inclusion-exclusion over the invalidated-row subjoins.
+	DisableJoinCompensation bool
+}
+
+// ExecInfo reports how one query execution was served.
+type ExecInfo struct {
+	Strategy Strategy
+	// CacheHit is true when an existing, non-stale entry served the query.
+	CacheHit bool
+	// Admitted is true when this execution created a cache entry that was
+	// admitted.
+	Admitted bool
+	// Rebuilt is true when a stale join entry was recomputed.
+	Rebuilt bool
+	// Bypassed is true when the query's snapshot predates the entry and
+	// the cache could not be used.
+	Bypassed bool
+	// MainCompensated counts main-store rows subtracted by main
+	// compensation.
+	MainCompensated int
+	// Stats aggregates subjoin counters for the execution.
+	Stats query.Stats
+	// Total is the wall-clock execution time.
+	Total time.Duration
+}
+
+// Manager is the aggregate cache manager (paper Fig. 1): it owns the cache
+// entries, decides admission and eviction by profit, serves queries with
+// main and delta compensation, and maintains entries incrementally during
+// delta merges.
+type Manager struct {
+	mu      sync.Mutex
+	db      *table.DB
+	mds     *md.Registry
+	exec    *query.Executor
+	cfg     Config
+	entries map[string]*Entry
+	bytes   uint64
+	// Evictions counts evicted entries (for introspection and tests).
+	Evictions int64
+}
+
+// NewManager creates a cache manager bound to a database and its matching
+// dependencies, and registers the merge hook that keeps entries maintained
+// across delta merges. mds may be nil when no MDs are declared; the
+// full-pruning strategy then degrades to empty-delta pruning.
+func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
+	if mds == nil {
+		mds = md.NewRegistry(db)
+	}
+	m := &Manager{
+		db:      db,
+		mds:     mds,
+		exec:    &query.Executor{DB: db},
+		cfg:     cfg,
+		entries: make(map[string]*Entry),
+	}
+	db.RegisterMergeHook(&mergeHook{m: m})
+	return m
+}
+
+// Len reports the number of cached entries.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// SizeBytes reports the summed footprint of cached values.
+func (m *Manager) SizeBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Entry returns the cached entry for a query, if present.
+func (m *Manager) Entry(q *query.Query) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[q.Fingerprint()]
+	return e, ok
+}
+
+// Clear drops every entry.
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[string]*Entry)
+	m.bytes = 0
+}
+
+// Execute runs an aggregate query block with the chosen strategy under the
+// database read lock and the current read snapshot, following the query
+// processing flow of paper Fig. 3.
+func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, error) {
+	m.db.RLock()
+	defer m.db.RUnlock()
+	return m.execute(q, m.db.Txns().ReadSnapshot(), strat)
+}
+
+// ExecuteAt is Execute against an explicit snapshot; the caller must hold
+// the database read lock or otherwise guarantee quiescence.
+func (m *Manager) ExecuteAt(q *query.Query, snap txn.Snapshot, strat Strategy) (*query.AggTable, ExecInfo, error) {
+	return m.execute(q, snap, strat)
+}
+
+func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy) (*query.AggTable, ExecInfo, error) {
+	start := time.Now()
+	info := ExecInfo{Strategy: strat}
+	e, uncachedRes, err := m.prepare(q, snap, strat, &info)
+	if err != nil || uncachedRes != nil {
+		info.Total = time.Since(start)
+		return uncachedRes, info, err
+	}
+
+	// Delta compensation on a clone of the cached value.
+	res := e.Value.Clone()
+	if err := m.compensateAndAccount(e, q, snap, strat, res, &info); err != nil {
+		return nil, info, err
+	}
+	info.Total = time.Since(start)
+	return res, info, nil
+}
+
+// ExecuteRows runs a query like Execute but materializes the result by
+// streaming the cached groups merged with the delta compensation, instead
+// of cloning the cached value — the fast path for frequent cache hits.
+// Rows are returned unsorted.
+func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, ExecInfo, error) {
+	m.db.RLock()
+	defer m.db.RUnlock()
+	start := time.Now()
+	snap := m.db.Txns().ReadSnapshot()
+	info := ExecInfo{Strategy: strat}
+	e, uncachedRes, err := m.prepare(q, snap, strat, &info)
+	if err != nil {
+		return nil, info, err
+	}
+	if uncachedRes != nil {
+		info.Total = time.Since(start)
+		return uncachedRes.Rows(), info, nil
+	}
+	comp := query.NewAggTable(q.Aggs)
+	if err := m.compensateAndAccount(e, q, snap, strat, comp, &info); err != nil {
+		return nil, info, err
+	}
+	rows := e.Value.MergedRows(comp)
+	info.Total = time.Since(start)
+	return rows, info, nil
+}
+
+// prepare resolves the cache entry for a query: lookup, admission on miss,
+// rebuild when stale, and main compensation on hit. For the Uncached
+// strategy and for snapshots predating the entry it executes the query
+// directly and returns the result in its second return value.
+func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, info *ExecInfo) (*Entry, *query.AggTable, error) {
+	if strat == Uncached {
+		if err := q.Validate(m.db); err != nil {
+			return nil, nil, err
+		}
+		res, st, err := m.exec.ExecuteAll(q, snap)
+		info.Stats = st
+		return nil, res, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	key := q.Fingerprint()
+	e, hit := m.entries[key]
+
+	// A snapshot older than the entry cannot be compensated forward;
+	// fall back to uncached execution (rare: long-running read-only
+	// transactions).
+	if hit && snap.High < e.SnapHigh {
+		info.Bypassed = true
+		res, st, err := m.exec.ExecuteAll(q, snap)
+		info.Stats = st
+		return nil, res, err
+	}
+
+	switch {
+	case !hit:
+		// Validation happens once per query definition: a cache hit means
+		// an identical, already-validated definition (the fingerprint
+		// covers the full query).
+		if err := q.Validate(m.db); err != nil {
+			return nil, nil, err
+		}
+		var err error
+		e, err = m.buildEntry(q, key, snap, strat, &info.Stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.Admitted = m.admit(e)
+	case e.Stale:
+		if err := m.rebuildEntry(e, snap, strat, &info.Stats); err != nil {
+			return nil, nil, err
+		}
+		info.Rebuilt = true
+	default:
+		info.CacheHit = true
+		// Main compensation: subtract rows invalidated since the entry's
+		// visibility snapshot (single-table), or rebuild (joins).
+		n, err := m.mainCompensate(e, snap, strat, &info.Stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.MainCompensated = n
+		if e.Stale {
+			if err := m.rebuildEntry(e, snap, strat, &info.Stats); err != nil {
+				return nil, nil, err
+			}
+			info.Rebuilt = true
+			info.CacheHit = false
+		}
+	}
+	return e, nil, nil
+}
+
+// compensateAndAccount runs delta compensation into out and updates the
+// entry's usage metrics.
+func (m *Manager) compensateAndAccount(e *Entry, q *query.Query, snap txn.Snapshot, strat Strategy, out *query.AggTable, info *ExecInfo) error {
+	dcStart := time.Now()
+	before := info.Stats.TuplesJoined
+	if err := m.deltaCompensate(q, snap, strat, out, &info.Stats); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	e.Metrics.DeltaCompTime += time.Since(dcStart)
+	e.Metrics.DeltaRows += info.Stats.TuplesJoined - before
+	if info.CacheHit || info.Rebuilt {
+		e.Metrics.Hits++
+	}
+	e.Metrics.LastAccess = time.Now()
+	m.mu.Unlock()
+	return nil
+}
+
+// mainCombos enumerates the all-main subjoin combinations of a query —
+// what the cache precomputes. With single-partition tables there is exactly
+// one; hot/cold tables contribute one per partition.
+func mainCombos(db *table.DB, q *query.Query) []query.Combo {
+	var out []query.Combo
+	for _, c := range query.AllCombos(db, q) {
+		if c.IsAllMain() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runCombos evaluates a set of subjoins into out, applying the strategy's
+// pruning rules (empty-store skip, MD prefilter, predicate pushdown).
+func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, out *query.AggTable, st *query.Stats) error {
+	for _, combo := range combos {
+		st.Subjoins++
+		if strat >= CachedEmptyDelta && comboHasEmptyStore(m.db, combo) {
+			st.PrunedEmpty++
+			continue
+		}
+		if strat >= CachedFullPruning && m.mds.ComboPruned(q, combo) {
+			st.PrunedMD++
+			continue
+		}
+		var extra map[string]expr.Pred
+		if strat >= CachedFullPruning {
+			if filters, ok := m.mds.PushdownFilters(q, combo); ok {
+				extra = filters
+				st.Pushdowns++
+			}
+		}
+		if err := m.exec.ExecuteCombo(q, combo, snap, extra, out, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func comboHasEmptyStore(db *table.DB, combo query.Combo) bool {
+	for _, ref := range combo {
+		if ref.Resolve(db).Rows() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildEntry computes a fresh entry over the all-main subjoins and captures
+// the visibility vectors of every main store involved.
+func (m *Manager) buildEntry(q *query.Query, key string, snap txn.Snapshot, strat Strategy, st *query.Stats) (*Entry, error) {
+	e := &Entry{
+		Key:     key,
+		Query:   q,
+		MainVis: make(map[query.StoreRef]*vec.BitSet),
+		MainInv: make(map[query.StoreRef]uint64),
+	}
+	if err := m.rebuildEntry(e, snap, strat, st); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// rebuildEntry (re)computes an entry's value on the main stores at snap.
+func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats) error {
+	wasStale := e.Stale
+	begin := time.Now()
+	value := query.NewAggTable(e.Query.Aggs)
+	tuplesBefore := st.TuplesJoined
+	if err := m.runCombos(e.Query, mainCombos(m.db, e.Query), snap, strat, value, st); err != nil {
+		return err
+	}
+	oldBytes := e.Metrics.SizeBytes
+	e.Value = value
+	e.SnapHigh = snap.High
+	e.Stale = false
+	for ref := range e.MainVis {
+		delete(e.MainVis, ref)
+		delete(e.MainInv, ref)
+	}
+	for _, name := range e.Query.Tables {
+		t := m.db.MustTable(name)
+		for pi := range t.Partitions() {
+			ref := query.StoreRef{Table: name, Part: pi, Main: true}
+			store := ref.Resolve(m.db)
+			e.MainVis[ref] = store.Visibility(snap)
+			e.MainInv[ref] = store.Invalidations()
+		}
+	}
+	e.Metrics.MainExecTime = time.Since(begin)
+	e.Metrics.MainRows = st.TuplesJoined - tuplesBefore
+	e.Metrics.SizeBytes = value.MemBytes()
+	e.Metrics.DirtyCounter = 0
+	if wasStale {
+		e.Metrics.Rebuilds++
+	}
+	if _, cached := m.entries[e.Key]; cached {
+		m.bytes = m.bytes - oldBytes + e.Metrics.SizeBytes
+	}
+	return nil
+}
+
+// admit decides cache admission for a freshly built entry: the query must
+// be fully self-maintainable (paper Sec. 2.1) and profitable enough; then
+// capacity is enforced by evicting the lowest-profit entries.
+func (m *Manager) admit(e *Entry) bool {
+	if !e.Query.SelfMaintainable() {
+		return false
+	}
+	if e.Metrics.Profit() < m.cfg.MinProfit {
+		return false
+	}
+	m.entries[e.Key] = e
+	m.bytes += e.Metrics.SizeBytes
+	m.evictOverCapacity()
+	_, still := m.entries[e.Key]
+	return still
+}
+
+func (m *Manager) evictOverCapacity() {
+	for m.cfg.CapacityBytes > 0 && m.bytes > m.cfg.CapacityBytes && len(m.entries) > 0 {
+		var victim *Entry
+		for _, e := range m.entries {
+			if victim == nil || e.Metrics.Profit() < victim.Metrics.Profit() {
+				victim = e
+			}
+		}
+		delete(m.entries, victim.Key)
+		m.bytes -= victim.Metrics.SizeBytes
+		m.Evictions++
+	}
+}
+
+// storeDiff describes the invalidations detected in one tracked main
+// store: its current visibility vector and the rows that disappeared since
+// the entry's snapshot.
+type storeDiff struct {
+	ref  query.StoreRef
+	cur  *vec.BitSet
+	diff *vec.BitSet
+	n    int
+}
+
+// mainCompensate applies the bit-vector-comparison main compensation of
+// paper Sec. 2.2: rows of the tracked main stores that were visible at
+// entry time but are invalidated now are removed from the cached value.
+// Single-table entries subtract the rows directly; join entries are
+// compensated by negative-delta subjoins (see joinMainCompensate) or, with
+// that extension disabled, marked stale for rebuild.
+func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats) (int, error) {
+	var diffs []storeDiff
+	total := 0
+	for _, ref := range e.mainRefs() {
+		store := ref.Resolve(m.db)
+		// Dirty check: no invalidation event since the snapshot means no
+		// row can have disappeared; skip the O(rows) vector comparison.
+		if store.Invalidations() == e.MainInv[ref] {
+			continue
+		}
+		cur := store.Visibility(snap)
+		e.MainInv[ref] = store.Invalidations()
+		diff := e.MainVis[ref].AndNot(cur)
+		if n := diff.Count(); n > 0 {
+			diffs = append(diffs, storeDiff{ref: ref, cur: cur, diff: diff, n: n})
+			total += n
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	switch {
+	case len(e.Query.Tables) == 1:
+		for _, d := range diffs {
+			if err := subtractRows(m.db, e.Query, d.ref, d.diff, e.Value); err != nil {
+				return total, err
+			}
+			e.MainVis[d.ref] = d.cur
+		}
+	case m.cfg.DisableJoinCompensation:
+		e.Stale = true
+		return total, nil
+	default:
+		if err := m.joinMainCompensate(e, diffs, st); err != nil {
+			// Fall back to a rebuild rather than serving a wrong result.
+			e.Stale = true
+			return total, nil
+		}
+	}
+	e.Metrics.DirtyCounter += int64(total)
+	if _, cached := m.entries[e.Key]; cached {
+		m.bytes -= e.Metrics.SizeBytes
+		e.Metrics.SizeBytes = e.Value.MemBytes()
+		m.bytes += e.Metrics.SizeBytes
+	} else {
+		e.Metrics.SizeBytes = e.Value.MemBytes()
+	}
+	e.SnapHigh = snap.High
+	_ = strat
+	return total, nil
+}
+
+// deltaCompensate unions the subjoins that involve at least one delta store
+// into res (paper Sec. 2.3.2), applying the strategy's pruning.
+func (m *Manager) deltaCompensate(q *query.Query, snap txn.Snapshot, strat Strategy, res *query.AggTable, st *query.Stats) error {
+	var combos []query.Combo
+	for _, c := range query.AllCombos(m.db, q) {
+		if !c.IsAllMain() {
+			combos = append(combos, c)
+		}
+	}
+	return m.runCombos(q, combos, snap, strat, res, st)
+}

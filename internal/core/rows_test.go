@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"aggcache/internal/query"
+)
+
+// sortRows orders result rows by encoded group key for comparison.
+func sortRows(rows []query.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return query.EncodeGroupKey(rows[i].Keys) < query.EncodeGroupKey(rows[j].Keys)
+	})
+}
+
+func assertRowsEqualTable(t *testing.T, rows []query.Row, table *query.AggTable) {
+	t.Helper()
+	want := table.Rows()
+	sortRows(rows)
+	if len(rows) != len(want) {
+		t.Fatalf("row counts differ: got %d, want %d\n got %+v\nwant %+v", len(rows), len(want), rows, want)
+	}
+	for i := range want {
+		if query.EncodeGroupKey(rows[i].Keys) != query.EncodeGroupKey(want[i].Keys) {
+			t.Fatalf("row %d keys differ: %v vs %v", i, rows[i].Keys, want[i].Keys)
+		}
+		if rows[i].Count != want[i].Count {
+			t.Fatalf("row %d count differs: %d vs %d", i, rows[i].Count, want[i].Count)
+		}
+		for a := range want[i].Aggs {
+			d := rows[i].Aggs[a].Float() - want[i].Aggs[a].Float()
+			if d > 1e-6 || d < -1e-6 {
+				t.Fatalf("row %d agg %d differs: %v vs %v", i, a, rows[i].Aggs[a], want[i].Aggs[a])
+			}
+		}
+	}
+}
+
+func TestExecuteRowsMatchesExecute(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.insertObject(t, 2013, 10, 20)
+	e.insertObject(t, 2012, 5)
+	e.db.MergeTables(false, "Header", "Item")
+	e.insertObject(t, 2013, 7, 8) // pending delta
+
+	for _, q := range []*query.Query{joinQuery(), headerOnlyQuery()} {
+		for _, s := range Strategies() {
+			want, _, err := e.mgr.Execute(q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, _, err := e.mgr.ExecuteRows(q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRowsEqualTable(t, rows, want)
+		}
+	}
+}
+
+func TestExecuteRowsAfterInvalidation(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.insertObject(t, 2013, 10)
+	e.insertObject(t, 2013, 4)
+	e.db.MergeTables(false, "Header", "Item")
+	q := headerOnlyQuery()
+	if _, _, err := e.mgr.ExecuteRows(q, CachedNoPruning); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.db.Txns().Begin()
+	if err := e.db.MustTable("Header").Delete(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	rows, info, err := e.mgr.ExecuteRows(q, CachedNoPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MainCompensated != 1 {
+		t.Fatalf("info = %+v, want 1 compensated row", info)
+	}
+	want, _, _ := e.mgr.Execute(q, Uncached)
+	assertRowsEqualTable(t, rows, want)
+}
+
+func TestExecuteRowsUncached(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.insertObject(t, 2013, 10)
+	rows, _, err := e.mgr.ExecuteRows(joinQuery(), Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := e.mgr.Execute(joinQuery(), Uncached)
+	assertRowsEqualTable(t, rows, want)
+}
+
+func TestSizeAccountingInvariant(t *testing.T) {
+	// The manager's byte total must always equal the sum over entries,
+	// through compensation, maintenance, and rebuilds.
+	e := newEnv(t, Config{})
+	e.insertObject(t, 2013, 10, 20)
+	e.db.MergeTables(false, "Header", "Item")
+	check := func(stage string) {
+		t.Helper()
+		var sum uint64
+		for _, q := range []*query.Query{joinQuery(), headerOnlyQuery()} {
+			if entry, ok := e.mgr.Entry(q); ok {
+				sum += entry.Metrics.SizeBytes
+			}
+		}
+		if got := e.mgr.SizeBytes(); got != sum {
+			t.Fatalf("%s: SizeBytes = %d, entries sum to %d", stage, got, sum)
+		}
+	}
+	e.mgr.Execute(joinQuery(), CachedFullPruning)
+	e.mgr.Execute(headerOnlyQuery(), CachedNoPruning)
+	check("after caching")
+
+	e.insertObject(t, 2014, 3)
+	e.db.MergeTables(false, "Header", "Item")
+	check("after merge maintenance")
+
+	tx := e.db.Txns().Begin()
+	if err := e.db.MustTable("Header").Delete(tx, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	e.mgr.Execute(headerOnlyQuery(), CachedNoPruning) // main compensation
+	e.mgr.Execute(joinQuery(), CachedFullPruning)     // rebuild
+	check("after compensation and rebuild")
+}
+
+func TestEvictionPrefersLowProfit(t *testing.T) {
+	e := newEnv(t, Config{})
+	e.insertObject(t, 2013, 10, 20)
+	e.insertObject(t, 2014, 5)
+	e.db.MergeTables(false, "Header", "Item")
+
+	qBig := joinQuery()         // larger value, expensive to build
+	qSmall := headerOnlyQuery() // cheap
+	if _, _, err := e.mgr.Execute(qBig, CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	// Use the big entry repeatedly so its profit towers over qSmall's.
+	for i := 0; i < 50; i++ {
+		if _, _, err := e.mgr.Execute(qBig, CachedFullPruning); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := e.mgr.Execute(qSmall, CachedNoPruning); err != nil {
+		t.Fatal(err)
+	}
+	big, _ := e.mgr.Entry(qBig)
+	small, _ := e.mgr.Entry(qSmall)
+	if big == nil || small == nil {
+		t.Fatal("entries missing")
+	}
+	if big.Metrics.Profit() <= small.Metrics.Profit() {
+		t.Skipf("profit ordering inverted at this scale (%.3g vs %.3g)",
+			big.Metrics.Profit(), small.Metrics.Profit())
+	}
+	// Shrink capacity to hold only the bigger-profit entry.
+	e.mgr.mu.Lock()
+	e.mgr.cfg.CapacityBytes = big.Metrics.SizeBytes
+	e.mgr.evictOverCapacity()
+	e.mgr.mu.Unlock()
+	if _, ok := e.mgr.Entry(qBig); !ok {
+		t.Fatal("high-profit entry evicted")
+	}
+	if _, ok := e.mgr.Entry(qSmall); ok {
+		t.Fatal("low-profit entry survived")
+	}
+}
+
+func TestCacheSurvivesAging(t *testing.T) {
+	// Aging moves rows between main stores; the cached all-main value is
+	// unchanged and entries must stay valid through re-captured
+	// visibility vectors.
+	e := newEnvHotCold(t)
+	q := joinQuery()
+	if _, _, err := e.mgr.Execute(q, CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.db.Age("Header", 1<<40); err != nil { // everything cold
+		t.Fatal(err)
+	}
+	if err := e.db.Age("Item", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := e.mgr.Execute(q, CachedFullPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.CacheHit || info.Rebuilt {
+		t.Fatalf("info = %+v, want hit without rebuild after aging", info)
+	}
+	want, _, _ := e.mgr.Execute(q, Uncached)
+	if !want.Equal(got) {
+		t.Fatalf("aging broke the cache:\n got %+v\nwant %+v", got.Rows(), want.Rows())
+	}
+	entry, _ := e.mgr.Entry(q)
+	cold := query.StoreRef{Table: "Header", Part: 0, Main: true}
+	hot := query.StoreRef{Table: "Header", Part: 1, Main: true}
+	if entry.MainVis[cold].Count() == 0 || entry.MainVis[hot].Count() != 0 {
+		t.Fatalf("visibility vectors not re-captured: cold=%d hot=%d",
+			entry.MainVis[cold].Count(), entry.MainVis[hot].Count())
+	}
+}

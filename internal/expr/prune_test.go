@@ -1,0 +1,75 @@
+package expr
+
+import (
+	"testing"
+
+	"aggcache/internal/column"
+)
+
+func statsFor(lo, hi int64) ColStats {
+	return func(col string) (column.Value, column.Value, bool) {
+		if col == "x" {
+			return column.IntV(lo), column.IntV(hi), true
+		}
+		return column.Value{}, column.Value{}, false
+	}
+}
+
+func TestProvablyEmptyCmp(t *testing.T) {
+	st := statsFor(10, 20)
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Cmp{Col: "x", Op: Eq, Val: column.IntV(5)}, true},
+		{Cmp{Col: "x", Op: Eq, Val: column.IntV(25)}, true},
+		{Cmp{Col: "x", Op: Eq, Val: column.IntV(10)}, false},
+		{Cmp{Col: "x", Op: Eq, Val: column.IntV(20)}, false},
+		{Cmp{Col: "x", Op: Lt, Val: column.IntV(10)}, true},
+		{Cmp{Col: "x", Op: Lt, Val: column.IntV(11)}, false},
+		{Cmp{Col: "x", Op: Le, Val: column.IntV(9)}, true},
+		{Cmp{Col: "x", Op: Le, Val: column.IntV(10)}, false},
+		{Cmp{Col: "x", Op: Gt, Val: column.IntV(20)}, true},
+		{Cmp{Col: "x", Op: Gt, Val: column.IntV(19)}, false},
+		{Cmp{Col: "x", Op: Ge, Val: column.IntV(21)}, true},
+		{Cmp{Col: "x", Op: Ge, Val: column.IntV(20)}, false},
+		// Ne can never be proven empty from a range.
+		{Cmp{Col: "x", Op: Ne, Val: column.IntV(15)}, false},
+		// Unknown column: cannot prove.
+		{Cmp{Col: "y", Op: Eq, Val: column.IntV(5)}, false},
+		// Kind mismatch: cannot prove.
+		{Cmp{Col: "x", Op: Eq, Val: column.StrV("5")}, false},
+	}
+	for _, c := range cases {
+		if got := ProvablyEmpty(c.p, st); got != c.want {
+			t.Errorf("ProvablyEmpty(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestProvablyEmptyBoolean(t *testing.T) {
+	st := statsFor(10, 20)
+	in := Cmp{Col: "x", Op: Eq, Val: column.IntV(15)}
+	out := Cmp{Col: "x", Op: Eq, Val: column.IntV(50)}
+	if !ProvablyEmpty(NewAnd(in, out), st) {
+		t.Fatal("And with an empty branch must prune")
+	}
+	if ProvablyEmpty(NewAnd(in, in), st) {
+		t.Fatal("satisfiable And pruned")
+	}
+	if !ProvablyEmpty(Or{Preds: []Pred{out, out}}, st) {
+		t.Fatal("Or of empty branches must prune")
+	}
+	if ProvablyEmpty(Or{Preds: []Pred{out, in}}, st) {
+		t.Fatal("Or with a satisfiable branch pruned")
+	}
+	if !ProvablyEmpty(Or{}, st) {
+		t.Fatal("empty Or must prune")
+	}
+	if ProvablyEmpty(True{}, st) {
+		t.Fatal("True pruned")
+	}
+	if ProvablyEmpty(Not{P: out}, st) {
+		t.Fatal("Not must be conservative")
+	}
+}

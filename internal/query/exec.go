@@ -1,0 +1,447 @@
+package query
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/expr"
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+	"aggcache/internal/vec"
+)
+
+// StoreRef names one physical store of a table: partition index plus
+// main/delta side.
+type StoreRef struct {
+	Table string
+	Part  int
+	Main  bool
+}
+
+// String implements fmt.Stringer, e.g. "Item[0].delta".
+func (r StoreRef) String() string {
+	side := "delta"
+	if r.Main {
+		side = "main"
+	}
+	return fmt.Sprintf("%s[%d].%s", r.Table, r.Part, side)
+}
+
+// Resolve returns the referenced physical store.
+func (r StoreRef) Resolve(db *table.DB) *table.Store {
+	p := db.MustTable(r.Table).Partition(r.Part)
+	if r.Main {
+		return p.Main
+	}
+	return p.Delta
+}
+
+// Combo assigns one store to every table of a query (aligned with
+// Query.Tables) — one subjoin of the partition-combination union.
+type Combo []StoreRef
+
+// IsAllMain reports whether every store of the combo is a main store; those
+// subjoins are exactly what the aggregate cache precomputes.
+func (c Combo) IsAllMain() bool {
+	for _, r := range c {
+		if !r.Main {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c Combo) String() string {
+	s := ""
+	for i, r := range c {
+		if i > 0 {
+			s += " x "
+		}
+		s += r.String()
+	}
+	return s
+}
+
+// Stats accumulates execution counters; the experiments use them to report
+// subjoin pruning effectiveness.
+type Stats struct {
+	// Subjoins is the number of subjoin combinations considered.
+	Subjoins int
+	// Executed is the number of subjoins actually evaluated.
+	Executed int
+	// PrunedEmpty counts subjoins skipped because a store was empty.
+	PrunedEmpty int
+	// PrunedMD counts subjoins pruned by the matching-dependency
+	// prefilter.
+	PrunedMD int
+	// PrunedScan counts subjoins skipped because a store's dictionary
+	// ranges prove a local filter unsatisfiable (dynamic partition
+	// pruning, paper Def. 1 / Example 1).
+	PrunedScan int
+	// Pushdowns counts subjoins executed with derived tid-range filters.
+	Pushdowns int
+	// RowsScanned counts rows inspected by scans.
+	RowsScanned int64
+	// TuplesJoined counts join result tuples aggregated.
+	TuplesJoined int64
+}
+
+// Add folds another stats record into s.
+func (s *Stats) Add(o Stats) {
+	s.Subjoins += o.Subjoins
+	s.Executed += o.Executed
+	s.PrunedEmpty += o.PrunedEmpty
+	s.PrunedMD += o.PrunedMD
+	s.PrunedScan += o.PrunedScan
+	s.Pushdowns += o.Pushdowns
+	s.RowsScanned += o.RowsScanned
+	s.TuplesJoined += o.TuplesJoined
+}
+
+// Executor evaluates aggregate queries against a database. It is a pure
+// mechanism: callers (the aggregate cache manager) decide which subjoins to
+// run and which extra filters to push down.
+type Executor struct {
+	DB *table.DB
+}
+
+// ExecuteCombo evaluates one subjoin — the query restricted to the given
+// store per table — under the snapshot, folding its rows into out. extra
+// holds additional per-table local filters (the pushed-down tid ranges);
+// they are conjoined with the query's own filters.
+func (e *Executor) ExecuteCombo(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, out *AggTable, st *Stats) error {
+	return e.ExecuteComboRestricted(q, combo, snap, extra, nil, out, st)
+}
+
+// ExecuteComboRestricted is ExecuteCombo with optional explicit row sets:
+// restrict[i], when non-nil, replaces snapshot visibility for the i-th
+// table's store — only rows whose bit is set participate (local filters
+// still apply). The negative-delta main compensation of the aggregate cache
+// uses this to join invalidated-row sets against visibility snapshots.
+func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats) error {
+	if len(combo) != len(q.Tables) {
+		return fmt.Errorf("query: combo has %d stores for %d tables", len(combo), len(q.Tables))
+	}
+	if restrict != nil && len(restrict) != len(q.Tables) {
+		return fmt.Errorf("query: restrict has %d sets for %d tables", len(restrict), len(q.Tables))
+	}
+	st.Executed++
+
+	// Scan phase: visible rows passing the local filters, per table.
+	stores := make([]*table.Store, len(combo))
+	rowsPer := make([][]int32, len(combo))
+	for i, ref := range combo {
+		tbl := e.DB.MustTable(ref.Table)
+		stores[i] = ref.Resolve(e.DB)
+		pred := expr.NewAnd(q.Filters[ref.Table], extra[ref.Table])
+		// Dynamic partition pruning: if the store's dictionary ranges
+		// prove the local filter unsatisfiable, the subjoin is empty
+		// without scanning a row (paper Example 1).
+		if dictionaryPrunes(pred, stores[i], tbl.Schema()) {
+			st.PrunedScan++
+			return nil
+		}
+		var set *vec.BitSet
+		if restrict != nil {
+			set = restrict[i]
+		}
+		rows, scanned, err := candidateRows(stores[i], tbl.Schema(), snap, set, pred)
+		if err != nil {
+			return err
+		}
+		st.RowsScanned += scanned
+		if len(rows) == 0 {
+			return nil // empty input: subjoin contributes nothing
+		}
+		rowsPer[i] = rows
+	}
+
+	pos := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		pos[t] = i
+	}
+
+	// Join phase: extend tuples table by table with hash joins.
+	tupleCols := make([][]int32, 1, len(q.Tables))
+	tupleCols[0] = rowsPer[0]
+	for ei, edge := range q.Joins {
+		rp := ei + 1
+		lp := pos[edge.Left.Table]
+		leftCol, err := colReader(e.DB, stores[lp], edge.Left)
+		if err != nil {
+			return err
+		}
+		rightCol, err := colReader(e.DB, stores[rp], edge.Right)
+		if err != nil {
+			return err
+		}
+		tupleCols = hashJoin(tupleCols, lp, leftCol, rowsPer[rp], rightCol)
+		if len(tupleCols[0]) == 0 {
+			return nil
+		}
+	}
+	n := len(tupleCols[0])
+	st.TuplesJoined += int64(n)
+
+	// Aggregation phase.
+	keyCols := make([]column.Reader, len(q.GroupBy))
+	keyPos := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		keyPos[i] = pos[g.Table]
+		c, err := colReader(e.DB, stores[keyPos[i]], g)
+		if err != nil {
+			return err
+		}
+		keyCols[i] = c
+	}
+	aggCols := make([]column.Reader, len(q.Aggs))
+	aggPos := make([]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Col.Col == "" {
+			continue // COUNT(*)
+		}
+		aggPos[i] = pos[a.Col.Table]
+		c, err := colReader(e.DB, stores[aggPos[i]], a.Col)
+		if err != nil {
+			return err
+		}
+		aggCols[i] = c
+	}
+
+	if fastAggregate(q, tupleCols, keyCols, keyPos, aggCols, aggPos, out) {
+		return nil
+	}
+	keys := make([]column.Value, len(q.GroupBy))
+	vals := make([]column.Value, len(q.Aggs))
+	for ti := 0; ti < n; ti++ {
+		for i := range keyCols {
+			keys[i] = keyCols[i].Value(int(tupleCols[keyPos[i]][ti]))
+		}
+		for i := range aggCols {
+			if aggCols[i] != nil {
+				vals[i] = aggCols[i].Value(int(tupleCols[aggPos[i]][ti]))
+			}
+		}
+		out.Add(keys, vals)
+	}
+	return nil
+}
+
+// fastAggregate is the vectorization stand-in for the dominant aggregate
+// shape: a single int64 grouping column with self-maintainable numeric
+// aggregates. It accumulates into flat local arrays keyed by an int64 map —
+// an order of magnitude cheaper per row than the generic encoded-key path —
+// and folds the groups into out at the end. It reports whether it applied.
+func fastAggregate(q *Query, tupleCols [][]int32, keyCols []column.Reader, keyPos []int, aggCols []column.Reader, aggPos []int, out *AggTable) bool {
+	if len(keyCols) != 1 || keyCols[0].Kind() != column.Int64 {
+		return false
+	}
+	for i, a := range q.Aggs {
+		if !a.Func.SelfMaintainable() {
+			return false
+		}
+		if aggCols[i] != nil && aggCols[i].Kind() == column.String {
+			return false
+		}
+	}
+	n := len(tupleCols[0])
+	nAggs := len(q.Aggs)
+	hint := n
+	if hint > 16 {
+		hint = 16
+	}
+	idx := make(map[int64]int, hint)
+	keys := make([]int64, 0, hint)
+	counts := make([]int64, 0, hint)
+	sums := make([]float64, 0, hint*nAggs) // stride nAggs
+	keyCol := keyCols[0]
+	kp := keyPos[0]
+	for ti := 0; ti < n; ti++ {
+		k := keyCol.Int64(int(tupleCols[kp][ti]))
+		g, ok := idx[k]
+		if !ok {
+			g = len(keys)
+			idx[k] = g
+			keys = append(keys, k)
+			counts = append(counts, 0)
+			for z := 0; z < nAggs; z++ {
+				sums = append(sums, 0)
+			}
+		}
+		counts[g]++
+		base := g * nAggs
+		for i := 0; i < nAggs; i++ {
+			c := aggCols[i]
+			if c == nil { // COUNT(*)
+				sums[base+i]++
+				continue
+			}
+			if q.Aggs[i].Func == Count {
+				sums[base+i]++
+				continue
+			}
+			if c.Kind() == column.Int64 {
+				sums[base+i] += float64(c.Int64(int(tupleCols[aggPos[i]][ti])))
+			} else {
+				sums[base+i] += c.Value(int(tupleCols[aggPos[i]][ti])).F
+			}
+		}
+	}
+	keyBuf := make([]column.Value, 1)
+	for g, k := range keys {
+		keyBuf[0] = column.IntV(k)
+		out.AddGroup(keyBuf, sums[g*nAggs:(g+1)*nAggs], counts[g])
+	}
+	return true
+}
+
+// dictionaryPrunes evaluates the predicate against the store's dictionary
+// min/max ranges.
+func dictionaryPrunes(pred expr.Pred, st *table.Store, sch *table.Schema) bool {
+	if _, isTrue := pred.(expr.True); isTrue {
+		return false
+	}
+	return expr.ProvablyEmpty(pred, func(col string) (column.Value, column.Value, bool) {
+		ci := sch.ColIndex(col)
+		if ci < 0 {
+			return column.Value{}, column.Value{}, false
+		}
+		return st.Col(ci).MinMax()
+	})
+}
+
+// candidateRows lists the store's rows that participate in a subjoin: rows
+// passing the predicate and either visible to the snapshot or, when an
+// explicit row set is given, members of that set.
+func candidateRows(st *table.Store, sch *table.Schema, snap txn.Snapshot, set *vec.BitSet, pred expr.Pred) ([]int32, int64, error) {
+	n := st.Rows()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	bound, err := pred.Bind(sch.ColIndex, st)
+	if err != nil {
+		return nil, 0, err
+	}
+	if set != nil {
+		var rows []int32
+		var scanErr error
+		set.ForEachSet(func(i int) {
+			if scanErr != nil || i >= n {
+				return
+			}
+			if bound.Eval(i) {
+				rows = append(rows, int32(i))
+			}
+		})
+		return rows, int64(set.Count()), scanErr
+	}
+	hint := n
+	if hint > 4096 {
+		hint = 4096
+	}
+	rows := make([]int32, 0, hint)
+	for i := 0; i < n; i++ {
+		if snap.Sees(st.CreateTID(i), st.InvalidTID(i)) && bound.Eval(i) {
+			rows = append(rows, int32(i))
+		}
+	}
+	return rows, int64(n), nil
+}
+
+func colReader(db *table.DB, st *table.Store, ref ColRef) (column.Reader, error) {
+	sch := db.MustTable(ref.Table).Schema()
+	i := sch.ColIndex(ref.Col)
+	if i < 0 {
+		return nil, fmt.Errorf("query: unknown column %s", ref)
+	}
+	return st.Col(i), nil
+}
+
+// hashJoin extends the tuple set with a new table: build a hash map over
+// the new table's rows keyed by its join column, probe with the left
+// column of the existing tuples. Int64 keys take an allocation-lean path.
+func hashJoin(tupleCols [][]int32, leftPos int, leftCol column.Reader, rightRows []int32, rightCol column.Reader) [][]int32 {
+	n := len(tupleCols[0])
+	out := make([][]int32, len(tupleCols)+1)
+
+	if leftCol.Kind() == column.Int64 && rightCol.Kind() == column.Int64 {
+		ht := make(map[int64][]int32, len(rightRows))
+		for _, r := range rightRows {
+			k := rightCol.Int64(int(r))
+			ht[k] = append(ht[k], r)
+		}
+		for ti := 0; ti < n; ti++ {
+			k := leftCol.Int64(int(tupleCols[leftPos][ti]))
+			for _, r := range ht[k] {
+				for c := range tupleCols {
+					out[c] = append(out[c], tupleCols[c][ti])
+				}
+				out[len(tupleCols)] = append(out[len(tupleCols)], r)
+			}
+		}
+		return out
+	}
+
+	ht := make(map[column.Value][]int32, len(rightRows))
+	for _, r := range rightRows {
+		k := rightCol.Value(int(r))
+		ht[k] = append(ht[k], r)
+	}
+	for ti := 0; ti < n; ti++ {
+		k := leftCol.Value(int(tupleCols[leftPos][ti]))
+		for _, r := range ht[k] {
+			for c := range tupleCols {
+				out[c] = append(out[c], tupleCols[c][ti])
+			}
+			out[len(tupleCols)] = append(out[len(tupleCols)], r)
+		}
+	}
+	return out
+}
+
+// AllCombos enumerates every subjoin combination of the query: the
+// cartesian product, over the query's tables, of each table's physical
+// stores (every partition contributes its main and its delta). For t
+// single-partition tables this yields the 2^t subjoins of paper Sec. 2.3.1.
+func AllCombos(db *table.DB, q *Query) []Combo {
+	perTable := make([][]StoreRef, len(q.Tables))
+	for i, name := range q.Tables {
+		t := db.MustTable(name)
+		for pi := range t.Partitions() {
+			perTable[i] = append(perTable[i],
+				StoreRef{Table: name, Part: pi, Main: true},
+				StoreRef{Table: name, Part: pi, Main: false},
+			)
+		}
+	}
+	var out []Combo
+	combo := make(Combo, len(q.Tables))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perTable) {
+			out = append(out, append(Combo(nil), combo...))
+			return
+		}
+		for _, ref := range perTable[i] {
+			combo[i] = ref
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ExecuteAll evaluates the query over all subjoin combinations — query
+// processing without the aggregate cache (paper Sec. 2.3.1).
+func (e *Executor) ExecuteAll(q *Query, snap txn.Snapshot) (*AggTable, Stats, error) {
+	out := NewAggTable(q.Aggs)
+	var st Stats
+	for _, combo := range AllCombos(e.DB, q) {
+		st.Subjoins++
+		if err := e.ExecuteCombo(q, combo, snap, nil, out, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return out, st, nil
+}

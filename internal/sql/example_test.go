@@ -1,0 +1,63 @@
+package sql_test
+
+import (
+	"fmt"
+	"log"
+
+	"aggcache/internal/column"
+	"aggcache/internal/core"
+	"aggcache/internal/md"
+	"aggcache/internal/sql"
+	"aggcache/internal/table"
+)
+
+// Example parses the paper's Listing-1-style query and executes it through
+// the aggregate cache.
+func Example() {
+	db := table.Open()
+	if _, err := db.Create(table.Schema{
+		Name: "orders",
+		Cols: []table.ColumnDef{
+			{Name: "id", Kind: column.Int64},
+			{Name: "customer", Kind: column.String},
+		},
+		PK: "id",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Create(table.Schema{
+		Name: "lines",
+		Cols: []table.ColumnDef{
+			{Name: "id", Kind: column.Int64},
+			{Name: "order_id", Kind: column.Int64},
+			{Name: "amount", Kind: column.Float64},
+		},
+		PK: "id",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tx := db.Txns().Begin()
+	db.MustTable("orders").Insert(tx, []column.Value{column.IntV(1), column.StrV("acme")})
+	db.MustTable("lines").Insert(tx, []column.Value{column.IntV(1), column.IntV(1), column.FloatV(10)})
+	db.MustTable("lines").Insert(tx, []column.Value{column.IntV(2), column.IntV(1), column.FloatV(20)})
+	tx.Commit()
+
+	st, err := sql.Parse(db, `
+		SELECT o.customer, SUM(l.amount) AS revenue, COUNT(*) AS n
+		FROM orders o JOIN lines l ON o.id = l.order_id
+		GROUP BY o.customer
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := core.NewManager(db, md.NewRegistry(db), core.Config{})
+	res, _, err := mgr.Execute(st.Query, core.CachedFullPruning)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range st.Rows(res) {
+		fmt.Printf("%s %s %s\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// acme 30 2
+}

@@ -1,0 +1,175 @@
+// Package sql provides a small SQL front end for the aggregate-query
+// engine: SELECT blocks with aggregate functions, inner equi-joins, local
+// WHERE filters, and GROUP BY — exactly the class of aggregate query blocks
+// the cache admits (paper Sec. 2.1, Listing 1). Queries parse and bind into
+// query.Query values executed by core.Manager.
+//
+//	SELECT d.Name AS Category, SUM(i.Price) AS Profit
+//	FROM Header h
+//	JOIN Item i ON h.HeaderID = i.HeaderID
+//	JOIN ProductCategory d ON i.CategoryID = d.CategoryID
+//	WHERE d.Language = 'ENG' AND h.FiscalYear = 2013
+//	GROUP BY d.Name
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents/case preserved
+	pos  int    // byte offset in the input
+}
+
+// Error is a parse or bind error with its position in the statement.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("sql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "JOIN": true,
+	"INNER": true, "ON": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenizes a statement. It is permissive about whitespace and treats
+// keywords case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, errAt(start, "unterminated string literal")
+				}
+				if input[i] == '\'' {
+					// '' escapes a quote inside the literal.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			dots := 0
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				if input[i] == '.' {
+					dots++
+				}
+				i++
+			}
+			if dots > 1 {
+				return nil, errAt(start, "malformed number %q", input[start:i])
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{kind: tokKeyword, text: strings.ToUpper(word), pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			switch c {
+			case '(', ')', ',', '.', '*', '=':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: start})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokSymbol, text: "<", pos: start})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokSymbol, text: ">=", pos: start})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokSymbol, text: ">", pos: start})
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokSymbol, text: "<>", pos: start})
+					i += 2
+				} else {
+					return nil, errAt(start, "unexpected character %q", c)
+				}
+			case ';':
+				i++ // trailing semicolons are tolerated
+			default:
+				return nil, errAt(start, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a
+// negative literal (after an operator/keyword/comma/paren) rather than
+// something else.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")" && last.text != "*"
+	case tokKeyword:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,735 @@
+package sql
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"aggcache/internal/column"
+	"aggcache/internal/expr"
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+)
+
+// Statement is a parsed and bound SELECT block: the engine query plus the
+// output projection, ordering, and limit.
+type Statement struct {
+	// Query is the bound aggregate query block.
+	Query *query.Query
+	// Columns names the output columns in SELECT order.
+	Columns []string
+	// Limit bounds the result rows; 0 means unlimited.
+	Limit int
+
+	items   []selectItem
+	orderBy []orderKey
+}
+
+// orderKey is one ORDER BY term, referencing an output column.
+type orderKey struct {
+	col  int
+	desc bool
+}
+
+// selectItem maps one SELECT column to either a group-by key or an
+// aggregate of the bound query.
+type selectItem struct {
+	isAgg bool
+	idx   int
+}
+
+// Project reorders an engine result row into SELECT order.
+func (s *Statement) Project(r query.Row) []column.Value {
+	out := make([]column.Value, len(s.items))
+	for i, it := range s.items {
+		if it.isAgg {
+			out[i] = r.Aggs[it.idx]
+		} else {
+			out[i] = r.Keys[it.idx]
+		}
+	}
+	return out
+}
+
+// Rows materializes a full result: project every engine row, apply ORDER
+// BY, and apply LIMIT.
+func (s *Statement) Rows(res *query.AggTable) [][]column.Value {
+	rows := res.Rows()
+	out := make([][]column.Value, len(rows))
+	for i, r := range rows {
+		out[i] = s.Project(r)
+	}
+	if len(s.orderBy) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, k := range s.orderBy {
+				c := column.Compare(out[i][k.col], out[j][k.col])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if s.Limit > 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return out
+}
+
+// Parse parses and binds one SELECT statement against the database schema.
+func Parse(db *table.DB, stmt string) (*Statement, error) {
+	toks, err := lex(stmt)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{db: db, toks: toks}
+	s, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Query.Validate(db); err != nil {
+		return nil, errAt(0, "%v", err)
+	}
+	return s, nil
+}
+
+type parser struct {
+	db   *table.DB
+	toks []token
+	i    int
+
+	// aliases maps alias (or table name) to the real table name, in FROM
+	// order.
+	aliases map[string]string
+	order   []string // table names in FROM/JOIN order
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return errAt(t.pos, "expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return errAt(t.pos, "expected %q, got %q", sym, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// rawCol is an unresolved column reference.
+type rawCol struct {
+	qualifier string // alias or table name; "" when unqualified
+	col       string
+	pos       int
+}
+
+// rawItem is one unbound SELECT column.
+type rawItem struct {
+	agg   *query.AggFunc // nil for a plain column
+	col   rawCol         // valid unless star
+	star  bool           // COUNT(*)
+	alias string
+	pos   int
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var items []rawItem
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	p.aliases = map[string]string{}
+	if err := p.parseTableRef(); err != nil {
+		return nil, err
+	}
+
+	var joins []query.JoinEdge
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		if err := p.parseTableRef(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		edge, err := p.parseJoinCondition()
+		if err != nil {
+			return nil, err
+		}
+		joins = append(joins, edge)
+	}
+
+	var whereTree *boolNode
+	if p.acceptKeyword("WHERE") {
+		var err error
+		whereTree, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var groupBy []query.ColRef
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			rc, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			ref, err := p.resolve(rc)
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	var order []rawOrder
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, errAt(t.pos, "expected output column in ORDER BY, got %q", t.text)
+			}
+			ro := rawOrder{name: t.text, pos: t.pos}
+			if p.acceptKeyword("DESC") {
+				ro.desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			order = append(order, ro)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	limit := 0
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "expected row count after LIMIT")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errAt(t.pos, "invalid LIMIT %q", t.text)
+		}
+		limit = n
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected %q after statement", t.text)
+	}
+
+	st, err := p.bind(items, joins, whereTree, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	st.Limit = limit
+	for _, ro := range order {
+		idx := -1
+		for i, name := range st.Columns {
+			if name == ro.name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, errAt(ro.pos, "ORDER BY column %q is not in the SELECT list", ro.name)
+		}
+		st.orderBy = append(st.orderBy, orderKey{col: idx, desc: ro.desc})
+	}
+	return st, nil
+}
+
+// rawOrder is one unbound ORDER BY term.
+type rawOrder struct {
+	name string
+	desc bool
+	pos  int
+}
+
+func (p *parser) parseSelectItem() (rawItem, error) {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		var fn query.AggFunc
+		switch t.text {
+		case "SUM":
+			fn = query.Sum
+		case "COUNT":
+			fn = query.Count
+		case "AVG":
+			fn = query.Avg
+		case "MIN":
+			fn = query.Min
+		case "MAX":
+			fn = query.Max
+		default:
+			return rawItem{}, errAt(t.pos, "unexpected keyword %s in SELECT list", t.text)
+		}
+		p.i++
+		if err := p.expectSymbol("("); err != nil {
+			return rawItem{}, err
+		}
+		it := rawItem{agg: &fn, pos: t.pos}
+		if p.acceptSymbol("*") {
+			if fn != query.Count {
+				return rawItem{}, errAt(t.pos, "%v(*) is not supported; only COUNT(*)", fn)
+			}
+			it.star = true
+		} else {
+			rc, err := p.parseColRef()
+			if err != nil {
+				return rawItem{}, err
+			}
+			it.col = rc
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return rawItem{}, err
+		}
+		it.alias = p.parseAlias()
+		return it, nil
+	}
+	rc, err := p.parseColRef()
+	if err != nil {
+		return rawItem{}, err
+	}
+	return rawItem{col: rc, alias: p.parseAlias(), pos: rc.pos}, nil
+}
+
+// parseAlias consumes an optional output alias. Bare aliases (without AS)
+// are not accepted for SELECT items to keep the grammar unambiguous.
+func (p *parser) parseAlias() string {
+	if p.acceptKeyword("AS") {
+		if t := p.cur(); t.kind == tokIdent {
+			p.i++
+			return t.text
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseColRef() (rawCol, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return rawCol{}, errAt(t.pos, "expected column reference, got %q", t.text)
+	}
+	rc := rawCol{col: t.text, pos: t.pos}
+	if p.acceptSymbol(".") {
+		t2 := p.next()
+		if t2.kind != tokIdent {
+			return rawCol{}, errAt(t2.pos, "expected column after %q.", t.text)
+		}
+		rc.qualifier = t.text
+		rc.col = t2.text
+	}
+	return rc, nil
+}
+
+func (p *parser) parseTableRef() error {
+	t := p.next()
+	if t.kind != tokIdent {
+		return errAt(t.pos, "expected table name, got %q", t.text)
+	}
+	name := t.text
+	if p.db.Table(name) == nil {
+		return errAt(t.pos, "unknown table %q", name)
+	}
+	alias := name
+	if p.acceptKeyword("AS") {
+		at := p.next()
+		if at.kind != tokIdent {
+			return errAt(at.pos, "expected alias after AS")
+		}
+		alias = at.text
+	} else if at := p.cur(); at.kind == tokIdent {
+		p.i++
+		alias = at.text
+	}
+	if _, dup := p.aliases[alias]; dup {
+		return errAt(t.pos, "duplicate table alias %q", alias)
+	}
+	p.aliases[alias] = name
+	p.order = append(p.order, name)
+	return nil
+}
+
+func (p *parser) parseJoinCondition() (query.JoinEdge, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return query.JoinEdge{}, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return query.JoinEdge{}, err
+	}
+	right, err := p.parseColRef()
+	if err != nil {
+		return query.JoinEdge{}, err
+	}
+	l, err := p.resolve(left)
+	if err != nil {
+		return query.JoinEdge{}, err
+	}
+	r, err := p.resolve(right)
+	if err != nil {
+		return query.JoinEdge{}, err
+	}
+	// The engine expects the edge's Right side to be the newly joined
+	// table (the last one in FROM order).
+	newest := p.order[len(p.order)-1]
+	switch {
+	case r.Table == newest:
+		return query.JoinEdge{Left: l, Right: r}, nil
+	case l.Table == newest:
+		return query.JoinEdge{Left: r, Right: l}, nil
+	}
+	return query.JoinEdge{}, errAt(left.pos, "join condition must reference the joined table %s", newest)
+}
+
+// resolve binds a raw column reference to (table, column) using aliases and
+// schema lookup.
+func (p *parser) resolve(rc rawCol) (query.ColRef, error) {
+	if rc.qualifier != "" {
+		name, ok := p.aliases[rc.qualifier]
+		if !ok {
+			return query.ColRef{}, errAt(rc.pos, "unknown table or alias %q", rc.qualifier)
+		}
+		if p.db.MustTable(name).Schema().ColIndex(rc.col) < 0 {
+			return query.ColRef{}, errAt(rc.pos, "table %s has no column %q", name, rc.col)
+		}
+		return query.ColRef{Table: name, Col: rc.col}, nil
+	}
+	var found []string
+	for _, name := range p.order {
+		if p.db.MustTable(name).Schema().ColIndex(rc.col) >= 0 {
+			found = append(found, name)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return query.ColRef{Table: found[0], Col: rc.col}, nil
+	case 0:
+		return query.ColRef{}, errAt(rc.pos, "no table has a column %q", rc.col)
+	}
+	return query.ColRef{}, errAt(rc.pos, "column %q is ambiguous across %s", rc.col, strings.Join(found, ", "))
+}
+
+// colKind looks up a bound column's kind.
+func (p *parser) colKind(ref query.ColRef) column.Kind {
+	sch := p.db.MustTable(ref.Table).Schema()
+	return sch.Cols[sch.MustColIndex(ref.Col)].Kind
+}
+
+// boolNode is the unsplit WHERE tree.
+type boolNode struct {
+	// op is "and", "or", "not", or "cmp".
+	op       string
+	children []*boolNode
+	// cmp payload
+	col query.ColRef
+	cop expr.Op
+	val column.Value
+	pos int
+}
+
+func (n *boolNode) tables(set map[string]bool) {
+	if n.op == "cmp" {
+		set[n.col.Table] = true
+		return
+	}
+	for _, c := range n.children {
+		c.tables(set)
+	}
+}
+
+func (n *boolNode) toPred() expr.Pred {
+	switch n.op {
+	case "cmp":
+		return expr.Cmp{Col: n.col.Col, Op: n.cop, Val: n.val}
+	case "and":
+		ps := make([]expr.Pred, len(n.children))
+		for i, c := range n.children {
+			ps[i] = c.toPred()
+		}
+		return expr.And{Preds: ps}
+	case "or":
+		ps := make([]expr.Pred, len(n.children))
+		for i, c := range n.children {
+			ps[i] = c.toPred()
+		}
+		return expr.Or{Preds: ps}
+	case "not":
+		return expr.Not{P: n.children[0].toPred()}
+	}
+	panic("sql: unknown bool node")
+}
+
+func (p *parser) parseOr() (*boolNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "or", children: []*boolNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*boolNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "and", children: []*boolNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*boolNode, error) {
+	if p.acceptKeyword("NOT") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &boolNode{op: "not", children: []*boolNode{child}}, nil
+	}
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (*boolNode, error) {
+	rc, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	ot := p.next()
+	if ot.kind != tokSymbol {
+		return nil, errAt(ot.pos, "expected comparison operator, got %q", ot.text)
+	}
+	var op expr.Op
+	switch ot.text {
+	case "=":
+		op = expr.Eq
+	case "<>":
+		op = expr.Ne
+	case "<":
+		op = expr.Lt
+	case "<=":
+		op = expr.Le
+	case ">":
+		op = expr.Gt
+	case ">=":
+		op = expr.Ge
+	default:
+		return nil, errAt(ot.pos, "unsupported operator %q", ot.text)
+	}
+	ref, err := p.resolve(rc)
+	if err != nil {
+		return nil, err
+	}
+	lt := p.next()
+	var val column.Value
+	switch lt.kind {
+	case tokNumber:
+		val, err = p.literal(ref, lt)
+		if err != nil {
+			return nil, err
+		}
+	case tokString:
+		val = column.StrV(lt.text)
+	default:
+		return nil, errAt(lt.pos, "expected literal, got %q (only column-vs-constant comparisons are supported)", lt.text)
+	}
+	if val.K != p.colKind(ref) {
+		return nil, errAt(lt.pos, "cannot compare %s %s column with %s literal",
+			ref, p.colKind(ref), val.K)
+	}
+	return &boolNode{op: "cmp", col: ref, cop: op, val: val, pos: rc.pos}, nil
+}
+
+// literal converts a numeric token, coercing integers to float for float
+// columns.
+func (p *parser) literal(ref query.ColRef, t token) (column.Value, error) {
+	if strings.Contains(t.text, ".") {
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return column.Value{}, errAt(t.pos, "malformed number %q", t.text)
+		}
+		return column.FloatV(f), nil
+	}
+	i, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return column.Value{}, errAt(t.pos, "malformed number %q", t.text)
+	}
+	if p.colKind(ref) == column.Float64 {
+		return column.FloatV(float64(i)), nil
+	}
+	return column.IntV(i), nil
+}
+
+// bind assembles the final Statement: resolve SELECT items, split the
+// WHERE tree into per-table local filters, and check SQL grouping rules.
+func (p *parser) bind(items []rawItem, joins []query.JoinEdge, where *boolNode, groupBy []query.ColRef) (*Statement, error) {
+	q := &query.Query{
+		Tables:  p.order,
+		Joins:   joins,
+		GroupBy: groupBy,
+	}
+
+	groupIdx := map[string]int{}
+	for i, g := range groupBy {
+		groupIdx[g.String()] = i
+	}
+
+	st := &Statement{Query: q}
+	for _, it := range items {
+		if it.agg == nil {
+			ref, err := p.resolve(it.col)
+			if err != nil {
+				return nil, err
+			}
+			gi, ok := groupIdx[ref.String()]
+			if !ok {
+				return nil, errAt(it.pos, "column %s must appear in GROUP BY or inside an aggregate", ref)
+			}
+			name := it.alias
+			if name == "" {
+				name = ref.Col
+			}
+			st.Columns = append(st.Columns, name)
+			st.items = append(st.items, selectItem{isAgg: false, idx: gi})
+			continue
+		}
+		spec := query.AggSpec{Func: *it.agg}
+		if !it.star {
+			ref, err := p.resolve(it.col)
+			if err != nil {
+				return nil, err
+			}
+			spec.Col = ref
+		}
+		name := it.alias
+		if name == "" {
+			name = spec.String()
+		}
+		spec.As = name
+		st.Columns = append(st.Columns, name)
+		st.items = append(st.items, selectItem{isAgg: true, idx: len(q.Aggs)})
+		q.Aggs = append(q.Aggs, spec)
+	}
+
+	if where != nil {
+		filters, err := splitWhere(where)
+		if err != nil {
+			return nil, err
+		}
+		q.Filters = filters
+	}
+	return st, nil
+}
+
+// splitWhere decomposes the WHERE tree into per-table local predicates.
+// The tree must be a conjunction of subtrees that each reference a single
+// table — the only filter shape the engine's subjoin execution supports.
+func splitWhere(n *boolNode) (map[string]expr.Pred, error) {
+	out := map[string]expr.Pred{}
+	var walk func(*boolNode) error
+	walk = func(node *boolNode) error {
+		if node.op == "and" {
+			for _, c := range node.children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		set := map[string]bool{}
+		node.tables(set)
+		if len(set) != 1 {
+			names := make([]string, 0, len(set))
+			for t := range set {
+				names = append(names, t)
+			}
+			return errAt(node.pos, "WHERE subtree references several tables (%s); only per-table filters joined by AND are supported",
+				strings.Join(names, ", "))
+		}
+		var tname string
+		for t := range set {
+			tname = t
+		}
+		out[tname] = expr.NewAnd(out[tname], node.toPred())
+		return nil
+	}
+	if err := walk(n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"aggcache/internal/column"
+	"aggcache/internal/core"
+	"aggcache/internal/table"
+	"aggcache/internal/workload"
+)
+
+// testDB builds the ERP schema with a little data.
+func testDB(t testing.TB) *workload.ERP {
+	t.Helper()
+	erp, err := workload.BuildERP(workload.ERPConfig{
+		Headers:        50,
+		ItemsPerHeader: 3,
+		Categories:     5,
+		Languages:      []string{"ENG", "GER"},
+		Years:          3,
+		BaseYear:       2011,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return erp
+}
+
+const listing1SQL = `
+SELECT d.Name AS Category, SUM(i.Price) AS Profit
+FROM Header AS h
+JOIN Item i ON h.HeaderID = i.HeaderID
+JOIN ProductCategory d ON i.CategoryID = d.CategoryID
+WHERE d.Language = 'ENG' AND h.FiscalYear = 2013
+GROUP BY d.Name`
+
+func TestParseListing1(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, listing1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Query
+	if len(q.Tables) != 3 || q.Tables[0] != "Header" || q.Tables[2] != "ProductCategory" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.Joins) != 2 || q.Joins[0].Right.Table != "Item" || q.Joins[1].Right.Table != "ProductCategory" {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].As != "Profit" {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Filters["Header"] == nil || q.Filters["ProductCategory"] == nil {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+	if len(st.Columns) != 2 || st.Columns[0] != "Category" || st.Columns[1] != "Profit" {
+		t.Fatalf("columns = %v", st.Columns)
+	}
+}
+
+func TestParsedQueryMatchesHandBuilt(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, listing1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	got, _, err := mgr.Execute(st.Query, core.CachedFullPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := mgr.Execute(erp.ProfitQuery(2013, "ENG"), core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("SQL result diverges from hand-built query:\n got %+v\nwant %+v", got.Rows(), want.Rows())
+	}
+	// Projection reorders a row into SELECT order.
+	rows := got.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no result rows")
+	}
+	proj := st.Project(rows[0])
+	if len(proj) != 2 || proj[0].K != column.String || proj[1].K != column.Float64 {
+		t.Fatalf("projection = %v", proj)
+	}
+}
+
+func TestParseAggregatesAndCountStar(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, `
+		SELECT CategoryID, COUNT(*) AS n, AVG(Price) AS avg_price,
+		       MIN(Price) AS lo, MAX(Price) AS hi
+		FROM Item
+		GROUP BY CategoryID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Query
+	if len(q.Aggs) != 4 {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Aggs[0].Col.Col != "" {
+		t.Fatal("COUNT(*) must have no argument")
+	}
+	if q.SelfMaintainable() {
+		t.Fatal("MIN/MAX query claimed self-maintainable")
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	res, _, err := mgr.Execute(q, core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != 5 {
+		t.Fatalf("groups = %d, want 5 categories", res.Groups())
+	}
+}
+
+func TestParseWhereShapes(t *testing.T) {
+	erp := testDB(t)
+	good := []string{
+		`SELECT COUNT(*) AS n FROM Header WHERE FiscalYear >= 2012 AND FiscalYear <= 2013 GROUP BY FiscalYear`,
+		`SELECT FiscalYear, COUNT(*) AS n FROM Header WHERE (Region = 'EMEA' OR Region = 'APAC') AND FiscalYear <> 2011 GROUP BY FiscalYear`,
+		`SELECT COUNT(*) AS n FROM Header WHERE NOT (FiscalYear < 2012)`,
+		`SELECT SUM(Price) AS s FROM Item WHERE Price > 10.5`,
+		`SELECT SUM(Price) AS s FROM Item WHERE Price > 10`, // int literal coerced to float
+	}
+	for _, stmt := range good {
+		if _, err := Parse(erp.DB, stmt); err != nil {
+			t.Errorf("%q rejected: %v", stmt, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	erp := testDB(t)
+	cases := []struct {
+		stmt    string
+		wantSub string
+	}{
+		{`SELEC x FROM Header`, "expected SELECT"},
+		{`SELECT COUNT(*) FROM Nope`, "unknown table"},
+		{`SELECT Nope FROM Header GROUP BY Nope`, `no table has a column "Nope"`},
+		{`SELECT FiscalYear FROM Header`, "must appear in GROUP BY"},
+		{`SELECT COUNT(*) FROM Header WHERE FiscalYear = 'x'`, "cannot compare"},
+		{`SELECT COUNT(*) FROM Header WHERE Region = 2013`, "cannot compare"},
+		{`SELECT SUM(*) FROM Item`, "only COUNT(*)"},
+		{`SELECT COUNT(*) FROM Header h JOIN Item i ON h.HeaderID = i.HeaderID WHERE h.FiscalYear = 2013 OR i.Price > 5`, "references several tables"},
+		{`SELECT COUNT(*) FROM Header h JOIN Item i ON h.HeaderID = h.HeaderID`, "must reference the joined table"},
+		{`SELECT COUNT(*) FROM Header h JOIN Item h ON h.HeaderID = h.HeaderID`, "duplicate table alias"},
+		{`SELECT COUNT(*) FROM Header WHERE FiscalYear = `, "expected literal"},
+		{`SELECT COUNT(*) FROM Header WHERE FiscalYear LIKE 2013`, "expected comparison operator"},
+		{`SELECT COUNT(*) FROM Header GROUP BY`, "expected column reference"},
+		{`SELECT COUNT(*) FROM Header trailing garbage`, "unexpected"},
+		{`SELECT HeaderID FROM Header JOIN Item ON Header.HeaderID = Item.HeaderID GROUP BY ItemID`, "ambiguous"},
+		{`SELECT COUNT(*) FROM Header WHERE Name = 'x'`, `no table has a column "Name"`},
+		{`SELECT x.Foo FROM Header GROUP BY x.Foo`, "unknown table or alias"},
+		{`SELECT COUNT(*) FROM Header WHERE FiscalYear = 'unterminated`, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := Parse(erp.DB, c.stmt)
+		if err == nil {
+			t.Errorf("%q accepted", c.stmt)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q error = %v, want substring %q", c.stmt, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseAmbiguousUnqualifiedResolved(t *testing.T) {
+	erp := testDB(t)
+	// HeaderID exists in both tables; Price only in Item; Region only in
+	// Header — unqualified use of the unique ones must bind.
+	st, err := Parse(erp.DB, `
+		SELECT Region, SUM(Price) AS revenue
+		FROM Header h JOIN Item i ON h.HeaderID = i.HeaderID
+		GROUP BY Region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.GroupBy[0].Table != "Header" || st.Query.Aggs[0].Col.Table != "Item" {
+		t.Fatalf("resolution wrong: %v / %v", st.Query.GroupBy, st.Query.Aggs)
+	}
+}
+
+func TestStringEscapesAndSemicolon(t *testing.T) {
+	db := table.Open()
+	if _, err := db.Create(table.Schema{
+		Name: "T",
+		Cols: []table.ColumnDef{{Name: "S", Kind: column.String}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Parse(db, `SELECT COUNT(*) AS n FROM T WHERE S = 'it''s';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := st.Query.Filters["T"]
+	if pred == nil || !strings.Contains(pred.String(), "it's") {
+		t.Fatalf("escaped literal lost: %v", pred)
+	}
+}
+
+func TestJoinSidesSwapped(t *testing.T) {
+	erp := testDB(t)
+	// ON written with the new table on the left must still bind.
+	st, err := Parse(erp.DB, `
+		SELECT COUNT(*) AS n
+		FROM Header h JOIN Item i ON i.HeaderID = h.HeaderID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Joins[0].Right.Table != "Item" {
+		t.Fatalf("join not normalized: %v", st.Query.Joins[0])
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, `SELECT COUNT(*) AS n FROM Header WHERE FiscalYear > -1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Query.Filters["Header"].String(), "-1") {
+		t.Fatalf("negative literal lost: %v", st.Query.Filters["Header"])
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, `
+		SELECT CategoryID, SUM(Price) AS revenue
+		FROM Item
+		GROUP BY CategoryID
+		ORDER BY revenue DESC, CategoryID ASC
+		LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Limit != 3 || len(st.orderBy) != 2 || !st.orderBy[0].desc || st.orderBy[1].desc {
+		t.Fatalf("order/limit wrong: %+v limit=%d", st.orderBy, st.Limit)
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	res, _, err := mgr.Execute(st.Query, core.CachedFullPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := st.Rows(res)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][1].F < rows[i][1].F {
+			t.Fatalf("not sorted descending: %v before %v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	erp := testDB(t)
+	cases := []string{
+		`SELECT COUNT(*) AS n FROM Header ORDER BY nope`,
+		`SELECT COUNT(*) AS n FROM Header ORDER BY`,
+		`SELECT COUNT(*) AS n FROM Header LIMIT x`,
+		`SELECT COUNT(*) AS n FROM Header LIMIT -3`,
+	}
+	for _, stmt := range cases {
+		if _, err := Parse(erp.DB, stmt); err == nil {
+			t.Errorf("%q accepted", stmt)
+		}
+	}
+}
+
+func TestRowsWithoutOrderIsDeterministic(t *testing.T) {
+	erp := testDB(t)
+	st, err := Parse(erp.DB, `SELECT FiscalYear, COUNT(*) AS n FROM Header GROUP BY FiscalYear`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	res, _, err := mgr.Execute(st.Query, core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st.Rows(res)
+	b := st.Rows(res)
+	if len(a) != len(b) {
+		t.Fatal("row counts differ between calls")
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatal("unordered Rows not deterministic")
+		}
+	}
+}

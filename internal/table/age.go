@@ -1,0 +1,109 @@
+package table
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/txn"
+)
+
+// Age moves the hot/cold boundary of a two-partition range-partitioned
+// table to newSplit and redistributes the main rows accordingly — the data
+// aging operation underlying the multi-partition scenario of paper
+// Sec. 5.4. Rows whose routing value now falls below the boundary migrate
+// from the hot main into the cold main (both are rebuilt with fresh sorted
+// dictionaries, like a delta merge).
+//
+// Both deltas must be empty (merge first): aging is an administrative
+// operation on settled data. MVCC timestamps travel with the rows, so
+// visibility is unaffected; registered merge hooks fire for both partitions
+// so the aggregate cache re-captures its visibility vectors — the cached
+// all-main values themselves are unchanged, because aging only moves rows
+// between main stores.
+func (db *DB) Age(tableName string, newSplit int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[tableName]
+	if t == nil {
+		return fmt.Errorf("table %s does not exist", tableName)
+	}
+	if len(t.parts) != 2 {
+		return fmt.Errorf("table %s: aging requires exactly two partitions, got %d", tableName, len(t.parts))
+	}
+	cold, hot := t.parts[0], t.parts[1]
+	if cold.Delta.Rows() != 0 || hot.Delta.Rows() != 0 {
+		return fmt.Errorf("table %s: aging requires empty deltas; merge first", tableName)
+	}
+	if newSplit < cold.Hi {
+		return fmt.Errorf("table %s: aging cannot move the boundary backwards (%d < %d)", tableName, newSplit, cold.Hi)
+	}
+	snap := db.txns.ReadSnapshot()
+	for _, h := range db.hooks {
+		h.BeforeMerge(db, t, 0, snap)
+		h.BeforeMerge(db, t, 1, snap)
+	}
+
+	type bucket struct {
+		builders []column.MainBuilder
+		create   []txn.TID
+		invalid  []txn.TID
+	}
+	newBucket := func() *bucket {
+		b := &bucket{builders: make([]column.MainBuilder, len(t.schema.Cols))}
+		for i, c := range t.schema.Cols {
+			b.builders[i] = column.NewMainBuilder(c.Kind)
+		}
+		return b
+	}
+	buckets := []*bucket{newBucket(), newBucket()}
+	route := func(v int64) int {
+		if v < newSplit {
+			return 0
+		}
+		return 1
+	}
+	for _, p := range []*Partition{cold, hot} {
+		st := p.Main
+		for row := 0; row < st.Rows(); row++ {
+			b := buckets[route(st.cols[t.routeCol].Int64(row))]
+			for i := range b.builders {
+				b.builders[i].Append(st.cols[i].Value(row))
+			}
+			b.create = append(b.create, st.create[row])
+			b.invalid = append(b.invalid, st.invalid[row])
+		}
+	}
+	for pi, b := range buckets {
+		st := &Store{
+			main:    true,
+			cols:    make([]column.Reader, len(b.builders)),
+			create:  b.create,
+			invalid: b.invalid,
+		}
+		for i, builder := range b.builders {
+			st.cols[i] = builder.Build()
+		}
+		t.parts[pi].Main = st
+	}
+	cold.Hi = newSplit
+	hot.Lo = newSplit
+
+	// Re-anchor the primary-key index for both partitions.
+	if t.pkIndex != nil {
+		pkc := t.schema.MustColIndex(t.schema.PK)
+		for pi := range t.parts {
+			st := t.parts[pi].Main
+			for row := range st.create {
+				if st.invalid[row] != 0 {
+					continue
+				}
+				t.pkIndex[st.cols[pkc].Int64(row)] = RowRef{Part: pi, InMain: true, Row: row}
+			}
+		}
+	}
+	for _, h := range db.hooks {
+		h.AfterMerge(db, t, 0)
+		h.AfterMerge(db, t, 1)
+	}
+	return nil
+}

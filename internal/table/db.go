@@ -1,0 +1,136 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"aggcache/internal/txn"
+)
+
+// MergeHook observes delta-merge operations. The aggregate cache registers
+// one to maintain its entries incrementally: BeforeMerge runs while the old
+// main and delta are still in place (so the hook can fold the delta into
+// cached values), AfterMerge runs once the new main is installed (so the
+// hook can re-snapshot visibility vectors).
+type MergeHook interface {
+	BeforeMerge(db *DB, tbl *Table, part int, snap txn.Snapshot)
+	AfterMerge(db *DB, tbl *Table, part int)
+}
+
+// DB is the database container: a transaction manager, a set of tables,
+// merge observers, and the coarse reader/writer lock that defines the
+// engine's concurrency contract (mutations and merges exclusive, query
+// execution shared).
+type DB struct {
+	mu     sync.RWMutex
+	txns   *txn.Manager
+	tables map[string]*Table
+	order  []string
+	hooks  []MergeHook
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{txns: txn.NewManager(), tables: make(map[string]*Table)}
+}
+
+// Txns returns the transaction manager.
+func (db *DB) Txns() *txn.Manager { return db.txns }
+
+// Create adds a single-partition table.
+func (db *DB) Create(schema Schema) (*Table, error) {
+	t, err := New(schema)
+	if err != nil {
+		return nil, err
+	}
+	return t, db.register(t)
+}
+
+// CreatePartitioned adds a range-partitioned (e.g. hot/cold) table.
+func (db *DB) CreatePartitioned(schema Schema, routeCol string, ranges []RangePartition) (*Table, error) {
+	t, err := NewPartitioned(schema, routeCol, ranges)
+	if err != nil {
+		return nil, err
+	}
+	return t, db.register(t)
+}
+
+func (db *DB) register(t *Table) error {
+	if _, ok := db.tables[t.Name()]; ok {
+		return fmt.Errorf("table %s already exists", t.Name())
+	}
+	db.tables[t.Name()] = t
+	db.order = append(db.order, t.Name())
+	return nil
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// MustTable returns a table by name, panicking if absent.
+func (db *DB) MustTable(name string) *Table {
+	t := db.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("table %s does not exist", name))
+	}
+	return t
+}
+
+// TableNames lists tables in creation order.
+func (db *DB) TableNames() []string { return append([]string(nil), db.order...) }
+
+// RegisterMergeHook adds a merge observer.
+func (db *DB) RegisterMergeHook(h MergeHook) { db.hooks = append(db.hooks, h) }
+
+// Lock acquires the exclusive writer lock.
+func (db *DB) Lock() { db.mu.Lock() }
+
+// Unlock releases the exclusive writer lock.
+func (db *DB) Unlock() { db.mu.Unlock() }
+
+// RLock acquires the shared reader lock queries run under.
+func (db *DB) RLock() { db.mu.RLock() }
+
+// RUnlock releases the shared reader lock.
+func (db *DB) RUnlock() { db.mu.RUnlock() }
+
+// Merge runs a delta merge on one partition under the writer lock, firing
+// the registered merge hooks around the store swap.
+func (db *DB) Merge(tableName string, part int, keepInvalidated bool) (MergeStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.mergeLocked(tableName, part, keepInvalidated)
+}
+
+func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (MergeStats, error) {
+	t := db.tables[tableName]
+	if t == nil {
+		return MergeStats{}, fmt.Errorf("table %s does not exist", tableName)
+	}
+	snap := db.txns.ReadSnapshot()
+	for _, h := range db.hooks {
+		h.BeforeMerge(db, t, part, snap)
+	}
+	stats, err := t.Merge(part, keepInvalidated)
+	if err != nil {
+		return stats, err
+	}
+	for _, h := range db.hooks {
+		h.AfterMerge(db, t, part)
+	}
+	return stats, nil
+}
+
+// MergeTables merges partition 0 of several tables inside one critical
+// section — the synchronized merge of related transactional tables that
+// maximizes join-pruning success (paper Sec. 5.2).
+func (db *DB) MergeTables(keepInvalidated bool, tableNames ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, name := range tableNames {
+		if _, err := db.mergeLocked(name, 0, keepInvalidated); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package table
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/txn"
+)
+
+// MergeStats summarizes one delta-merge operation.
+type MergeStats struct {
+	// FromMain counts rows carried over from the old main store.
+	FromMain int
+	// FromDelta counts rows propagated from the delta store.
+	FromDelta int
+	// Dropped counts invalidated or aborted rows removed by the merge.
+	Dropped int
+}
+
+// Merge runs the delta-merge operation on one partition: a new main store is
+// built from the live rows of the old main and the delta, encoded with fresh
+// sorted dictionaries, and the delta is emptied (paper Sec. 2, [17]).
+//
+// keepInvalidated keeps invalidated rows in the new main (for temporal
+// query processing on historical data); they remain invisible to current
+// snapshots via their MVCC timestamps.
+//
+// The caller must guarantee that no transaction is open (all TIDs
+// resolved); the DB container enforces this by running merges under its
+// write lock.
+func (t *Table) Merge(part int, keepInvalidated bool) (MergeStats, error) {
+	if part < 0 || part >= len(t.parts) {
+		return MergeStats{}, fmt.Errorf("table %s: merge of unknown partition %d", t.schema.Name, part)
+	}
+	p := t.parts[part]
+	var stats MergeStats
+
+	builders := make([]column.MainBuilder, len(t.schema.Cols))
+	for i, c := range t.schema.Cols {
+		builders[i] = column.NewMainBuilder(c.Kind)
+	}
+	var create, invalid []txn.TID
+	appendFrom := func(st *Store, fromMain bool) {
+		for row := 0; row < st.Rows(); row++ {
+			if st.create[row] == txn.Aborted {
+				stats.Dropped++
+				continue
+			}
+			if st.invalid[row] != 0 && !keepInvalidated {
+				stats.Dropped++
+				continue
+			}
+			for i := range builders {
+				builders[i].Append(st.cols[i].Value(row))
+			}
+			create = append(create, st.create[row])
+			invalid = append(invalid, st.invalid[row])
+			if fromMain {
+				stats.FromMain++
+			} else {
+				stats.FromDelta++
+			}
+		}
+	}
+	appendFrom(p.Main, true)
+	appendFrom(p.Delta, false)
+
+	newMain := &Store{
+		main:    true,
+		cols:    make([]column.Reader, len(builders)),
+		create:  create,
+		invalid: invalid,
+	}
+	for i, b := range builders {
+		newMain.cols[i] = b.Build()
+	}
+
+	p.Main = newMain
+	p.Delta = newDeltaStore(&t.schema)
+	p.Merges++
+
+	// Re-anchor the primary-key index: every live row of this partition now
+	// lives in the new main. Rows of other partitions are untouched.
+	if t.pkIndex != nil {
+		pkc := t.schema.MustColIndex(t.schema.PK)
+		for row := range newMain.create {
+			if newMain.invalid[row] != 0 {
+				continue
+			}
+			t.pkIndex[newMain.cols[pkc].Int64(row)] = RowRef{Part: part, InMain: true, Row: row}
+		}
+	}
+	return stats, nil
+}

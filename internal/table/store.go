@@ -1,0 +1,129 @@
+package table
+
+import (
+	"aggcache/internal/column"
+	"aggcache/internal/txn"
+	"aggcache/internal/vec"
+)
+
+// Store is one physical row container: either the frozen main store of a
+// partition or its append-only delta store. Every row carries MVCC
+// timestamps (creating and invalidating transaction).
+type Store struct {
+	main    bool
+	cols    []column.Reader
+	apps    []column.Appender // non-nil only for delta stores
+	create  []txn.TID
+	invalid []txn.TID
+	// invalidations counts invalidation events on this store. The
+	// aggregate cache compares it against the value captured at entry
+	// creation to skip visibility-vector recomputation when no row could
+	// have been invalidated — the cheap dirty check behind the paper's
+	// per-entry dirty counter (Fig. 2).
+	invalidations uint64
+}
+
+func newDeltaStore(s *Schema) *Store {
+	st := &Store{apps: make([]column.Appender, len(s.Cols)), cols: make([]column.Reader, len(s.Cols))}
+	for i, c := range s.Cols {
+		a := column.NewDelta(c.Kind)
+		st.apps[i] = a
+		st.cols[i] = a
+	}
+	return st
+}
+
+func emptyMainStore(s *Schema) *Store {
+	st := &Store{main: true, cols: make([]column.Reader, len(s.Cols))}
+	for i, c := range s.Cols {
+		st.cols[i] = column.NewMainBuilder(c.Kind).Build()
+	}
+	return st
+}
+
+// IsMain reports whether this is a read-optimized main store.
+func (st *Store) IsMain() bool { return st.main }
+
+// Rows reports the physical row count (including invalidated rows).
+func (st *Store) Rows() int { return len(st.create) }
+
+// Col returns the i-th column.
+func (st *Store) Col(i int) column.Reader { return st.cols[i] }
+
+// CreateTID returns the creating transaction of a row.
+func (st *Store) CreateTID(row int) txn.TID { return st.create[row] }
+
+// InvalidTID returns the invalidating transaction of a row, 0 if live.
+func (st *Store) InvalidTID(row int) txn.TID { return st.invalid[row] }
+
+// Visibility renders the consistent-view bit vector of the store for a
+// snapshot.
+func (st *Store) Visibility(snap txn.Snapshot) *vec.BitSet {
+	return txn.VisibilityVector(st.create, st.invalid, snap)
+}
+
+// LiveRows counts rows visible to the snapshot.
+func (st *Store) LiveRows(snap txn.Snapshot) int {
+	n := 0
+	for i := range st.create {
+		if snap.Sees(st.create[i], st.invalid[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// appendRow adds a row; delta stores only.
+func (st *Store) appendRow(vals []column.Value, tid txn.TID) int {
+	if st.main {
+		panic("table: append to main store")
+	}
+	for i, a := range st.apps {
+		a.Append(vals[i])
+	}
+	st.create = append(st.create, tid)
+	st.invalid = append(st.invalid, 0)
+	return len(st.create) - 1
+}
+
+// Invalidations returns the store's invalidation event counter. It only
+// ever grows while the store is live (aborted invalidations keep their
+// tick), so an unchanged counter guarantees no new invalidation.
+func (st *Store) Invalidations() uint64 { return st.invalidations }
+
+// MemBytes estimates the store's heap footprint: column payloads plus the
+// two MVCC timestamp arrays.
+func (st *Store) MemBytes() uint64 {
+	var m uint64
+	for _, c := range st.cols {
+		m += c.MemBytes()
+	}
+	m += uint64(len(st.create)+len(st.invalid)) * 8
+	return m
+}
+
+// Row materializes a row as values; primarily for tests and examples.
+func (st *Store) Row(row int) []column.Value {
+	out := make([]column.Value, len(st.cols))
+	for i, c := range st.cols {
+		out[i] = c.Value(row)
+	}
+	return out
+}
+
+// Partition couples a main store with its delta store. A plain table has a
+// single partition; a hot/cold aged table has one partition per temperature
+// class, each with its own main and delta (paper Sec. 5.4).
+type Partition struct {
+	Name  string
+	Main  *Store
+	Delta *Store
+	// Range restricts the partition to routing-column values in
+	// [Lo, Hi); both bounds are ignored when the table has one partition.
+	Lo, Hi int64
+	// Merges counts completed delta-merge operations.
+	Merges uint64
+}
+
+// Stores lists the partition's physical stores, main first.
+func (p *Partition) Stores() []*Store { return []*Store{p.Main, p.Delta} }

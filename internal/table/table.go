@@ -1,0 +1,296 @@
+package table
+
+import (
+	"fmt"
+
+	"aggcache/internal/column"
+	"aggcache/internal/txn"
+)
+
+// RowRef locates a row version inside a table.
+type RowRef struct {
+	Part   int
+	InMain bool
+	Row    int
+}
+
+// Table is a columnar table with one or more main-delta partitions.
+type Table struct {
+	schema Schema
+	parts  []*Partition
+	// routeCol is the column index partition routing is based on, -1 for
+	// single-partition tables.
+	routeCol int
+	// pkIndex maps primary-key values to the latest row version.
+	pkIndex map[int64]RowRef
+}
+
+// New creates a single-partition table.
+func New(schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{schema: schema, routeCol: -1}
+	t.parts = []*Partition{{Name: "", Main: emptyMainStore(&t.schema), Delta: newDeltaStore(&t.schema)}}
+	if schema.PK != "" {
+		t.pkIndex = make(map[int64]RowRef)
+	}
+	return t, nil
+}
+
+// RangePartition declares one range of a partitioned table.
+type RangePartition struct {
+	Name   string
+	Lo, Hi int64 // [Lo, Hi) on the routing column
+}
+
+// NewPartitioned creates a table range-partitioned on an Int64 column —
+// the layout of the hot/cold aging scenario. Ranges must not overlap and
+// must cover every value that will be inserted.
+func NewPartitioned(schema Schema, routeCol string, ranges []RangePartition) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	ci := schema.ColIndex(routeCol)
+	if ci < 0 {
+		return nil, fmt.Errorf("table %s: routing column %s is not a column", schema.Name, routeCol)
+	}
+	if schema.Cols[ci].Kind != column.Int64 {
+		return nil, fmt.Errorf("table %s: routing column %s must be int64", schema.Name, routeCol)
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("table %s: no partition ranges", schema.Name)
+	}
+	t := &Table{schema: schema, routeCol: ci}
+	for _, r := range ranges {
+		if r.Hi <= r.Lo {
+			return nil, fmt.Errorf("table %s: empty partition range %s [%d,%d)", schema.Name, r.Name, r.Lo, r.Hi)
+		}
+		t.parts = append(t.parts, &Partition{
+			Name: r.Name, Lo: r.Lo, Hi: r.Hi,
+			Main: emptyMainStore(&t.schema), Delta: newDeltaStore(&t.schema),
+		})
+	}
+	if schema.PK != "" {
+		t.pkIndex = make(map[int64]RowRef)
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return &t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Partitions lists the table's partitions.
+func (t *Table) Partitions() []*Partition { return t.parts }
+
+// Partition returns partition i.
+func (t *Table) Partition(i int) *Partition { return t.parts[i] }
+
+// routeFor picks the partition an inserted row belongs to.
+func (t *Table) routeFor(vals []column.Value) (int, error) {
+	if t.routeCol < 0 {
+		return 0, nil
+	}
+	v := vals[t.routeCol]
+	for i, p := range t.parts {
+		if v.I >= p.Lo && v.I < p.Hi {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("table %s: value %d outside every partition range", t.schema.Name, v.I)
+}
+
+// Insert appends a row (ordered per schema) to the routed partition's
+// delta store. The write becomes visible when tx commits; aborting tx
+// tombstones the row.
+func (t *Table) Insert(tx *txn.Txn, vals []column.Value) (RowRef, error) {
+	if len(vals) != len(t.schema.Cols) {
+		return RowRef{}, fmt.Errorf("table %s: %d values for %d columns", t.schema.Name, len(vals), len(t.schema.Cols))
+	}
+	for i, v := range vals {
+		if v.K != t.schema.Cols[i].Kind {
+			return RowRef{}, fmt.Errorf("table %s: column %s expects %v, got %v",
+				t.schema.Name, t.schema.Cols[i].Name, t.schema.Cols[i].Kind, v.K)
+		}
+	}
+	pi, err := t.routeFor(vals)
+	if err != nil {
+		return RowRef{}, err
+	}
+	var pk int64
+	var hadOld bool
+	var oldRef RowRef
+	if t.pkIndex != nil {
+		pk = vals[t.schema.MustColIndex(t.schema.PK)].I
+		if oldRef, hadOld = t.pkIndex[pk]; hadOld {
+			return RowRef{}, fmt.Errorf("table %s: duplicate primary key %d", t.schema.Name, pk)
+		}
+	}
+	st := t.parts[pi].Delta
+	row := st.appendRow(vals, tx.ID())
+	ref := RowRef{Part: pi, InMain: false, Row: row}
+	if t.pkIndex != nil {
+		t.pkIndex[pk] = ref
+	}
+	tx.OnAbort(func() {
+		st.create[row] = txn.Aborted
+		if t.pkIndex != nil {
+			if hadOld {
+				t.pkIndex[pk] = oldRef
+			} else {
+				delete(t.pkIndex, pk)
+			}
+		}
+	})
+	return ref, nil
+}
+
+// LookupPK returns the latest row version for a primary key.
+func (t *Table) LookupPK(pk int64) (RowRef, bool) {
+	if t.pkIndex == nil {
+		return RowRef{}, false
+	}
+	ref, ok := t.pkIndex[pk]
+	return ref, ok
+}
+
+// Get reads one column of a row version.
+func (t *Table) Get(ref RowRef, col int) column.Value {
+	return t.store(ref).Col(col).Value(ref.Row)
+}
+
+func (t *Table) store(ref RowRef) *Store {
+	p := t.parts[ref.Part]
+	if ref.InMain {
+		return p.Main
+	}
+	return p.Delta
+}
+
+// Update invalidates the current version of pk and inserts a new version
+// with the given columns replaced, following the insert-only update protocol
+// of the main-delta architecture: the old record — possibly in main — is
+// invalidated, the new one lands in the delta store.
+func (t *Table) Update(tx *txn.Txn, pk int64, set map[string]column.Value) error {
+	if t.pkIndex == nil {
+		return fmt.Errorf("table %s: update requires a primary key", t.schema.Name)
+	}
+	ref, ok := t.pkIndex[pk]
+	if !ok {
+		return fmt.Errorf("table %s: update of missing primary key %d", t.schema.Name, pk)
+	}
+	old := t.store(ref)
+	vals := old.Row(ref.Row)
+	for name, v := range set {
+		ci := t.schema.ColIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("table %s: update of unknown column %s", t.schema.Name, name)
+		}
+		if v.K != t.schema.Cols[ci].Kind {
+			return fmt.Errorf("table %s: column %s expects %v, got %v", t.schema.Name, name, t.schema.Cols[ci].Kind, v.K)
+		}
+		vals[ci] = v
+	}
+	if err := t.invalidate(tx, ref); err != nil {
+		return err
+	}
+	// Reinsert the new version. Temporarily drop the index entry so Insert
+	// does not see a duplicate key; Insert re-registers it.
+	delete(t.pkIndex, pk)
+	if _, err := t.Insert(tx, vals); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Delete invalidates the current version of pk.
+func (t *Table) Delete(tx *txn.Txn, pk int64) error {
+	if t.pkIndex == nil {
+		return fmt.Errorf("table %s: delete requires a primary key", t.schema.Name)
+	}
+	ref, ok := t.pkIndex[pk]
+	if !ok {
+		return fmt.Errorf("table %s: delete of missing primary key %d", t.schema.Name, pk)
+	}
+	if err := t.invalidate(tx, ref); err != nil {
+		return err
+	}
+	delete(t.pkIndex, pk)
+	tx.OnAbort(func() { t.pkIndex[pk] = ref })
+	return nil
+}
+
+func (t *Table) invalidate(tx *txn.Txn, ref RowRef) error {
+	st := t.store(ref)
+	if st.invalid[ref.Row] != 0 {
+		return fmt.Errorf("table %s: row already invalidated", t.schema.Name)
+	}
+	st.invalid[ref.Row] = tx.ID()
+	st.invalidations++
+	tx.OnAbort(func() { st.invalid[ref.Row] = 0 })
+	return nil
+}
+
+// BulkLoadMain loads rows directly into a partition's main store with the
+// given creating transaction IDs, replacing its current main. It is the
+// fast path data generators use to stand up large mains without paying the
+// insert-then-merge cost. The partition's delta must be empty.
+func (t *Table) BulkLoadMain(part int, rows [][]column.Value, tids []txn.TID) error {
+	if len(rows) != len(tids) {
+		return fmt.Errorf("table %s: %d rows but %d tids", t.schema.Name, len(rows), len(tids))
+	}
+	p := t.parts[part]
+	if p.Delta.Rows() != 0 || p.Main.Rows() != 0 {
+		return fmt.Errorf("table %s: bulk load into non-empty partition %q", t.schema.Name, p.Name)
+	}
+	builders := make([]column.MainBuilder, len(t.schema.Cols))
+	for i, c := range t.schema.Cols {
+		builders[i] = column.NewMainBuilder(c.Kind)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.schema.Cols) {
+			return fmt.Errorf("table %s: bulk row with %d values for %d columns", t.schema.Name, len(r), len(t.schema.Cols))
+		}
+		for i, v := range r {
+			builders[i].Append(v)
+		}
+	}
+	st := &Store{
+		main:    true,
+		cols:    make([]column.Reader, len(builders)),
+		create:  append([]txn.TID(nil), tids...),
+		invalid: make([]txn.TID, len(tids)),
+	}
+	for i, b := range builders {
+		st.cols[i] = b.Build()
+	}
+	p.Main = st
+	if t.pkIndex != nil {
+		pkc := t.schema.MustColIndex(t.schema.PK)
+		for row, r := range rows {
+			t.pkIndex[r[pkc].I] = RowRef{Part: part, InMain: true, Row: row}
+		}
+	}
+	return nil
+}
+
+// MemBytes estimates the table's heap footprint across all partitions.
+func (t *Table) MemBytes() uint64 {
+	var m uint64
+	for _, p := range t.parts {
+		m += p.Main.MemBytes() + p.Delta.MemBytes()
+	}
+	return m
+}
+
+// DeltaRows reports the total physical delta row count across partitions.
+func (t *Table) DeltaRows() int {
+	n := 0
+	for _, p := range t.parts {
+		n += p.Delta.Rows()
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+package txn
+
+// AdvanceTo fast-forwards the manager so that every TID up to and including
+// tid counts as committed and the next Begin returns tid+1. Bulk loaders use
+// it after writing rows with synthetic creation TIDs directly into main
+// stores, so subsequently inserted rows receive strictly larger TIDs — the
+// invariant the matching-dependency prefilter relies on. It panics if
+// transactions are still open or tid is in the past.
+func (m *Manager) AdvanceTo(tid TID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.resolved) != 0 || m.next != m.watermark {
+		panic("txn: AdvanceTo with open transactions")
+	}
+	if tid < m.next {
+		panic("txn: AdvanceTo into the past")
+	}
+	m.next = tid
+	m.watermark = tid
+}

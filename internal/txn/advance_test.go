@@ -1,0 +1,40 @@
+package txn
+
+import "testing"
+
+func TestAdvanceTo(t *testing.T) {
+	m := NewManager()
+	m.AdvanceTo(100)
+	if m.Watermark() != 100 {
+		t.Fatalf("watermark = %d, want 100", m.Watermark())
+	}
+	tx := m.Begin()
+	if tx.ID() != 101 {
+		t.Fatalf("next TID = %d, want 101", tx.ID())
+	}
+	tx.Commit()
+	if !m.ReadSnapshot().Sees(50, 0) {
+		t.Fatal("advanced watermark must see synthetic TIDs")
+	}
+}
+
+func TestAdvanceToGuards(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AdvanceTo with open txn did not panic")
+			}
+		}()
+		m.AdvanceTo(10)
+	}()
+	tx.Commit()
+	m.AdvanceTo(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	m.AdvanceTo(5)
+}

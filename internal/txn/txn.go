@@ -1,0 +1,160 @@
+// Package txn implements the transaction layer of the main-delta engine:
+// monotonically increasing transaction identifiers, commit watermarks,
+// snapshots, and the consistent view manager that renders per-store
+// visibility bit vectors for a transaction token (paper Sec. 2.2).
+//
+// The transaction ID doubles as the temporal attribute the object-aware
+// matching dependencies are built on (paper Sec. 5): a row's tid column is
+// set to the ID of the inserting transaction.
+package txn
+
+import (
+	"fmt"
+	"sync"
+
+	"aggcache/internal/vec"
+)
+
+// TID is a transaction identifier. IDs are handed out in strictly increasing
+// order; 0 means "none" (a live row has invalidTID 0).
+type TID uint64
+
+// Aborted is the sentinel createTID assigned to rows written by a
+// transaction that later aborted; no snapshot ever sees them.
+const Aborted TID = ^TID(0)
+
+// Snapshot is a transaction token: it sees every row created by a committed
+// transaction with ID <= High, plus the writes of Self (the owning
+// transaction), minus rows invalidated under the same rule.
+type Snapshot struct {
+	High TID
+	Self TID
+}
+
+// Sees reports whether a row with the given MVCC timestamps is visible.
+func (s Snapshot) Sees(create, invalid TID) bool {
+	if !s.seesTID(create) {
+		return false
+	}
+	return invalid == 0 || !s.seesTID(invalid)
+}
+
+func (s Snapshot) seesTID(t TID) bool {
+	if t == Aborted {
+		return false
+	}
+	return t == s.Self && t != 0 || t <= s.High
+}
+
+// Manager issues transactions and tracks the commit watermark: the highest
+// TID such that every transaction with a smaller-or-equal ID has resolved
+// (committed or aborted). Snapshots read the watermark, so out-of-order
+// commits never expose gaps.
+type Manager struct {
+	mu        sync.Mutex
+	next      TID
+	watermark TID
+	resolved  map[TID]bool // resolved TIDs above the watermark
+}
+
+// NewManager returns a transaction manager with no history.
+func NewManager() *Manager {
+	return &Manager{resolved: make(map[TID]bool)}
+}
+
+// Txn is an open transaction.
+type Txn struct {
+	id      TID
+	snap    Snapshot
+	mgr     *Manager
+	done    bool
+	onAbort []func()
+}
+
+// Begin opens a transaction with a fresh ID and a snapshot of the current
+// watermark.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	return &Txn{id: m.next, snap: Snapshot{High: m.watermark, Self: m.next}, mgr: m}
+}
+
+// ReadSnapshot returns a read-only transaction token at the current
+// watermark — what the consistent view manager hands an incoming query.
+func (m *Manager) ReadSnapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{High: m.watermark}
+}
+
+// Watermark returns the current commit watermark.
+func (m *Manager) Watermark() TID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.watermark
+}
+
+func (m *Manager) resolve(id TID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolved[id] = true
+	for m.resolved[m.watermark+1] {
+		delete(m.resolved, m.watermark+1)
+		m.watermark++
+	}
+}
+
+// ID returns the transaction's identifier; it is the value inserted into
+// tid columns by the matching-dependency enforcement.
+func (t *Txn) ID() TID { return t.id }
+
+// Snapshot returns the transaction's token, including own-writes
+// visibility.
+func (t *Txn) Snapshot() Snapshot { return t.snap }
+
+// OnAbort registers an undo action to run if the transaction aborts. The
+// table layer uses this to tombstone rows written by the transaction.
+func (t *Txn) OnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
+
+// Commit makes the transaction's writes visible to snapshots taken after
+// the watermark passes its ID. Committing twice panics.
+func (t *Txn) Commit() {
+	if t.done {
+		panic(fmt.Sprintf("txn: transaction %d already resolved", t.id))
+	}
+	t.done = true
+	t.onAbort = nil
+	t.mgr.resolve(t.id)
+}
+
+// Abort runs the registered undo actions in reverse order and resolves the
+// transaction; its writes are never visible.
+func (t *Txn) Abort() {
+	if t.done {
+		panic(fmt.Sprintf("txn: transaction %d already resolved", t.id))
+	}
+	t.done = true
+	for i := len(t.onAbort) - 1; i >= 0; i-- {
+		t.onAbort[i]()
+	}
+	t.onAbort = nil
+	t.mgr.resolve(t.id)
+}
+
+// VisibilityVector renders the consistent view manager's bit vector for one
+// store: bit i is set iff row i is visible to the snapshot. This is the
+// structure the aggregate cache captures at entry-creation time and compares
+// against for main compensation.
+func VisibilityVector(create, invalid []TID, snap Snapshot) *vec.BitSet {
+	if len(create) != len(invalid) {
+		panic("txn: create/invalid length mismatch")
+	}
+	bs := vec.NewBitSet(len(create))
+	for i := range create {
+		if snap.Sees(create[i], invalid[i]) {
+			bs.Set(i)
+		}
+	}
+	return bs
+}

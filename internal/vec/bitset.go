@@ -1,0 +1,191 @@
+// Package vec provides low-level bit-packed containers used by the columnar
+// storage layer: growable bitsets (row-visibility vectors) and fixed-width
+// bit-packed integer vectors (dictionary value-ID arrays).
+package vec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// BitSet is a growable set of bits indexed from zero. The zero value is an
+// empty set ready for use. BitSet is the representation of the visibility
+// vectors the consistent view manager hands to the aggregate cache.
+type BitSet struct {
+	words []uint64
+	n     int // logical length in bits
+}
+
+// NewBitSet returns a bitset with the given logical length, all bits clear.
+func NewBitSet(n int) *BitSet {
+	if n < 0 {
+		panic("vec: negative bitset length")
+	}
+	return &BitSet{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len reports the logical length of the set in bits.
+func (b *BitSet) Len() int { return b.n }
+
+// grow extends the logical length to at least n bits.
+func (b *BitSet) grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(b.words) {
+		words := make([]uint64, need)
+		copy(words, b.words)
+		b.words = words
+	}
+	b.n = n
+}
+
+// Set sets bit i, growing the set if needed.
+func (b *BitSet) Set(i int) {
+	if i >= b.n {
+		b.grow(i + 1)
+	}
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i. Clearing past the end is a no-op.
+func (b *BitSet) Clear(i int) {
+	if i >= b.n {
+		return
+	}
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set. Bits past the end read as false.
+func (b *BitSet) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the set.
+func (b *BitSet) Clone() *BitSet {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &BitSet{words: w, n: b.n}
+}
+
+// SetAll sets every bit in [0, Len).
+func (b *BitSet) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// trimTail clears bits beyond the logical length in the last word.
+func (b *BitSet) trimTail() {
+	if rem := b.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// AndNot returns a new set holding bits set in b but not in other — the
+// "invalidated since snapshot" diff used by main compensation.
+func (b *BitSet) AndNot(other *BitSet) *BitSet {
+	out := NewBitSet(b.n)
+	for i := range b.words {
+		var ow uint64
+		if i < len(other.words) {
+			ow = other.words[i]
+		}
+		out.words[i] = b.words[i] &^ ow
+	}
+	return out
+}
+
+// And returns the intersection of b and other, with b's logical length.
+func (b *BitSet) And(other *BitSet) *BitSet {
+	out := NewBitSet(b.n)
+	for i := range out.words {
+		var ow uint64
+		if i < len(other.words) {
+			ow = other.words[i]
+		}
+		out.words[i] = b.words[i] & ow
+	}
+	return out
+}
+
+// Or returns the union of b and other; the result length is the larger of
+// the two.
+func (b *BitSet) Or(other *BitSet) *BitSet {
+	n := b.n
+	if other.n > n {
+		n = other.n
+	}
+	out := NewBitSet(n)
+	for i := range out.words {
+		var bw, ow uint64
+		if i < len(b.words) {
+			bw = b.words[i]
+		}
+		if i < len(other.words) {
+			ow = other.words[i]
+		}
+		out.words[i] = bw | ow
+	}
+	return out
+}
+
+// Equal reports whether the two sets have the same logical length and bits.
+func (b *BitSet) Equal(other *BitSet) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachSet calls fn for every set bit in ascending order.
+func (b *BitSet) ForEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*wordBits + tz)
+			w &^= 1 << uint(tz)
+		}
+	}
+}
+
+// MemBytes returns the heap footprint of the set's payload in bytes.
+func (b *BitSet) MemBytes() uint64 { return uint64(len(b.words)) * 8 }
+
+// String renders small sets for debugging, e.g. "{0,3,17}/20".
+func (b *BitSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEachSet(func(i int) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	fmt.Fprintf(&sb, "}/%d", b.n)
+	return sb.String()
+}

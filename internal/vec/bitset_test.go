@@ -1,0 +1,184 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasic(t *testing.T) {
+	b := NewBitSet(100)
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", b.Count())
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !b.Get(i) {
+			t.Errorf("Get(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 98, 100, -1} {
+		if b.Get(i) {
+			t.Errorf("Get(%d) = true, want false", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(63)
+	if b.Get(63) || b.Count() != 3 {
+		t.Fatalf("after Clear(63): Get=%v Count=%d", b.Get(63), b.Count())
+	}
+	b.Clear(1000) // past end: no-op
+}
+
+func TestBitSetGrow(t *testing.T) {
+	var b BitSet
+	b.Set(200)
+	if b.Len() != 201 {
+		t.Fatalf("Len = %d, want 201", b.Len())
+	}
+	if !b.Get(200) || b.Get(199) {
+		t.Fatal("grow corrupted bits")
+	}
+}
+
+func TestBitSetSetAll(t *testing.T) {
+	b := NewBitSet(70)
+	b.SetAll()
+	if b.Count() != 70 {
+		t.Fatalf("Count = %d, want 70", b.Count())
+	}
+	if b.Get(70) {
+		t.Fatal("bit past logical end set")
+	}
+}
+
+func TestBitSetAndNot(t *testing.T) {
+	// The main-compensation diff: bits visible at cache time but no longer
+	// visible now.
+	atCache := NewBitSet(10)
+	now := NewBitSet(10)
+	for i := 0; i < 10; i++ {
+		atCache.Set(i)
+	}
+	for i := 0; i < 10; i++ {
+		if i != 3 && i != 7 {
+			now.Set(i)
+		}
+	}
+	diff := atCache.AndNot(now)
+	if diff.Count() != 2 || !diff.Get(3) || !diff.Get(7) {
+		t.Fatalf("diff = %v, want {3,7}", diff)
+	}
+}
+
+func TestBitSetAndOrEqual(t *testing.T) {
+	a := NewBitSet(10)
+	b := NewBitSet(12)
+	a.Set(1)
+	a.Set(5)
+	b.Set(5)
+	b.Set(11)
+	and := a.And(b)
+	if and.Count() != 1 || !and.Get(5) {
+		t.Fatalf("And = %v, want {5}", and)
+	}
+	or := a.Or(b)
+	if or.Len() != 12 || or.Count() != 3 {
+		t.Fatalf("Or = %v, want {1,5,11}/12", or)
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal(different) = true")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Equal(clone) = false")
+	}
+}
+
+func TestBitSetForEachSet(t *testing.T) {
+	b := NewBitSet(130)
+	want := []int{0, 1, 64, 65, 128, 129}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitSetString(t *testing.T) {
+	b := NewBitSet(5)
+	b.Set(0)
+	b.Set(3)
+	if got := b.String(); got != "{0,3}/5" {
+		t.Fatalf("String = %q, want {0,3}/5", got)
+	}
+}
+
+// Property: for random membership sets, Get reflects exactly the indexes
+// passed to Set, and Count equals the set's cardinality.
+func TestBitSetQuickMembership(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := new(BitSet)
+		seen := map[int]bool{}
+		for _, u := range idxs {
+			i := int(u % 4096)
+			b.Set(i)
+			seen[i] = true
+		}
+		if b.Count() != len(seen) {
+			return false
+		}
+		for i := 0; i < 4096; i++ {
+			if b.Get(i) != seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndNot(b, other) has a set bit exactly where b has one and
+// other does not.
+func TestBitSetQuickAndNot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := NewBitSet(n), NewBitSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		d := a.AndNot(b)
+		for i := 0; i < n; i++ {
+			if d.Get(i) != (a.Get(i) && !b.Get(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

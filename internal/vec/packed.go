@@ -1,0 +1,89 @@
+package vec
+
+import "fmt"
+
+// Packed is an immutable-width, fixed-bit-width unsigned integer vector.
+// Main-store columns use it to hold dictionary value IDs with
+// ceil(log2(dictSize)) bits per entry, mirroring the bit-packed value-ID
+// arrays of a read-optimized columnar main store.
+type Packed struct {
+	words []uint64
+	bits  uint // bits per entry, 1..64
+	n     int
+}
+
+// NewPacked creates a packed vector with n entries of the given bit width.
+// All entries start at zero.
+func NewPacked(bitWidth uint, n int) *Packed {
+	if bitWidth == 0 || bitWidth > 64 {
+		panic(fmt.Sprintf("vec: invalid packed bit width %d", bitWidth))
+	}
+	if n < 0 {
+		panic("vec: negative packed length")
+	}
+	totalBits := uint64(n) * uint64(bitWidth)
+	return &Packed{
+		words: make([]uint64, (totalBits+wordBits-1)/wordBits),
+		bits:  bitWidth,
+		n:     n,
+	}
+}
+
+// BitsFor returns the minimal bit width able to represent values in
+// [0, max]. BitsFor(0) is 1 so that empty or single-entry dictionaries
+// still get a valid vector.
+func BitsFor(max uint64) uint {
+	w := uint(1)
+	for max>>w != 0 {
+		w++
+	}
+	return w
+}
+
+// Len reports the number of entries.
+func (p *Packed) Len() int { return p.n }
+
+// Bits reports the per-entry bit width.
+func (p *Packed) Bits() uint { return p.bits }
+
+// Set stores v at index i. v must fit in the configured bit width.
+func (p *Packed) Set(i int, v uint64) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("vec: packed index %d out of range [0,%d)", i, p.n))
+	}
+	if p.bits < 64 && v>>p.bits != 0 {
+		panic(fmt.Sprintf("vec: value %d does not fit in %d bits", v, p.bits))
+	}
+	bitPos := uint64(i) * uint64(p.bits)
+	wi, off := bitPos/wordBits, uint(bitPos%wordBits)
+	mask := p.mask()
+	p.words[wi] = p.words[wi]&^(mask<<off) | v<<off
+	if spill := off + p.bits; spill > wordBits {
+		hi := p.bits - (wordBits - off)
+		p.words[wi+1] = p.words[wi+1]&^(mask>>(p.bits-hi)) | v>>(p.bits-hi)
+	}
+}
+
+// Get loads the value at index i.
+func (p *Packed) Get(i int) uint64 {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("vec: packed index %d out of range [0,%d)", i, p.n))
+	}
+	bitPos := uint64(i) * uint64(p.bits)
+	wi, off := bitPos/wordBits, uint(bitPos%wordBits)
+	v := p.words[wi] >> off
+	if spill := off + p.bits; spill > wordBits {
+		v |= p.words[wi+1] << (wordBits - off)
+	}
+	return v & p.mask()
+}
+
+func (p *Packed) mask() uint64 {
+	if p.bits == 64 {
+		return ^uint64(0)
+	}
+	return 1<<p.bits - 1
+}
+
+// MemBytes returns the heap footprint of the vector's payload in bytes.
+func (p *Packed) MemBytes() uint64 { return uint64(len(p.words)) * 8 }

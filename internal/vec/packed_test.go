@@ -1,0 +1,103 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1<<32 - 1, 32}, {1 << 32, 33}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := BitsFor(c.max); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	for _, bits := range []uint{1, 3, 7, 13, 31, 33, 63, 64} {
+		p := NewPacked(bits, 257)
+		rng := rand.New(rand.NewSource(int64(bits)))
+		want := make([]uint64, p.Len())
+		var mask uint64 = ^uint64(0)
+		if bits < 64 {
+			mask = 1<<bits - 1
+		}
+		for i := range want {
+			want[i] = rng.Uint64() & mask
+			p.Set(i, want[i])
+		}
+		for i := range want {
+			if got := p.Get(i); got != want[i] {
+				t.Fatalf("bits=%d: Get(%d) = %d, want %d", bits, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestPackedOverwrite(t *testing.T) {
+	p := NewPacked(5, 10)
+	p.Set(4, 31)
+	p.Set(5, 17)
+	p.Set(4, 1) // overwrite must not disturb the straddling neighbour
+	if p.Get(4) != 1 || p.Get(5) != 17 {
+		t.Fatalf("Get(4)=%d Get(5)=%d, want 1,17", p.Get(4), p.Get(5))
+	}
+}
+
+func TestPackedBounds(t *testing.T) {
+	p := NewPacked(4, 3)
+	mustPanic(t, func() { p.Set(3, 0) })
+	mustPanic(t, func() { p.Get(-1) })
+	mustPanic(t, func() { p.Set(0, 16) }) // 16 needs 5 bits
+	mustPanic(t, func() { NewPacked(0, 1) })
+	mustPanic(t, func() { NewPacked(65, 1) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// Property: writes at distinct indexes never interfere, regardless of bit
+// width or write order.
+func TestPackedQuickIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := uint(1 + rng.Intn(64))
+		n := 1 + rng.Intn(200)
+		p := NewPacked(bits, n)
+		ref := make([]uint64, n)
+		var mask uint64 = ^uint64(0)
+		if bits < 64 {
+			mask = 1<<bits - 1
+		}
+		for k := 0; k < 5*n; k++ {
+			i := rng.Intn(n)
+			v := rng.Uint64() & mask
+			p.Set(i, v)
+			ref[i] = v
+		}
+		for i := range ref {
+			if p.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

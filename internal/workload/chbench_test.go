@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"aggcache/internal/core"
+)
+
+func smallCH(t testing.TB) *CH {
+	t.Helper()
+	cfg := CHConfig{
+		Orders:        200,
+		LinesPerOrder: 3,
+		Customers:     50,
+		Items:         40,
+		Warehouses:    2,
+		Suppliers:     10,
+		DeltaShare:    0.05,
+		Seed:          3,
+	}
+	c, err := BuildCH(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildCHCounts(t *testing.T) {
+	c := smallCH(t)
+	orders := c.DB.MustTable(TOrders)
+	lines := c.DB.MustTable(TOrderline)
+	stock := c.DB.MustTable(TStock)
+
+	mainOrders := orders.Partition(0).Main.Rows()
+	deltaOrders := orders.DeltaRows()
+	if mainOrders+deltaOrders != 200 {
+		t.Fatalf("orders = %d+%d, want 200 total", mainOrders, deltaOrders)
+	}
+	if deltaOrders != 10 { // 5% of 200
+		t.Fatalf("delta orders = %d, want 10", deltaOrders)
+	}
+	if got := lines.Partition(0).Main.Rows() + lines.DeltaRows(); got != 600 {
+		t.Fatalf("orderlines = %d, want 600", got)
+	}
+	// Stock updates: 5% of 80 rows = 4 new versions in delta, 4
+	// invalidations in main (random keys may collide; allow fewer).
+	if stock.DeltaRows() == 0 {
+		t.Fatal("stock delta empty; updates missing")
+	}
+	// Dimensions are merged and quiet.
+	for _, name := range []string{TRegion, TNation, TSupplier, TItemCH, TCustomer} {
+		if c.DB.MustTable(name).DeltaRows() != 0 {
+			t.Fatalf("%s delta not empty", name)
+		}
+	}
+}
+
+func TestBuildCHValidatesConfig(t *testing.T) {
+	if _, err := BuildCH(CHConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestCHQueriesValidate(t *testing.T) {
+	c := smallCH(t)
+	for name, q := range c.Queries() {
+		if err := q.Validate(c.DB); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCHOrderlineMDEnforced(t *testing.T) {
+	c := smallCH(t)
+	lines := c.DB.MustTable(TOrderline)
+	orders := c.DB.MustTable(TOrders)
+	ds := lines.Partition(0).Delta
+	okIdx := lines.Schema().MustColIndex("ol_o_key")
+	tidIdx := lines.Schema().MustColIndex("tid_order")
+	for r := 0; r < ds.Rows(); r++ {
+		oid := ds.Col(okIdx).Int64(r)
+		ref, ok := orders.LookupPK(oid)
+		if !ok {
+			t.Fatalf("orderline row %d references missing order %d", r, oid)
+		}
+		otid := orders.Get(ref, orders.Schema().MustColIndex("tid_order")).I
+		if ds.Col(tidIdx).Int64(r) != otid {
+			t.Fatalf("orderline tid %d != order tid %d", ds.Col(tidIdx).Int64(r), otid)
+		}
+	}
+}
+
+func TestCHStrategiesAgree(t *testing.T) {
+	c := smallCH(t)
+	mgr := core.NewManager(c.DB, c.Reg, core.Config{})
+	for name, q := range c.Queries() {
+		want, _, err := mgr.Execute(q, core.Uncached)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", name, err)
+		}
+		for _, s := range core.Strategies()[1:] {
+			got, _, err := mgr.Execute(q, s)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, s, err)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("%s: strategy %v diverges from uncached", name, s)
+			}
+		}
+	}
+}
+
+func TestCHSubjoinCounts(t *testing.T) {
+	c := smallCH(t)
+	mgr := core.NewManager(c.DB, c.Reg, core.Config{})
+	// Q5 joins 7 tables: 127 subjoins uncached, 126 for delta
+	// compensation (the all-main one is cached).
+	_, info, err := mgr.Execute(c.Q5(), core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.Subjoins != 128 {
+		t.Fatalf("Q5 uncached subjoins = %d, want 128", info.Stats.Subjoins)
+	}
+	_, info, err = mgr.Execute(c.Q5(), core.CachedFullPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry creation runs the 1 all-main combo; delta compensation
+	// considers the remaining 127.
+	if info.Stats.Subjoins != 128 {
+		t.Fatalf("Q5 cached subjoins considered = %d, want 128", info.Stats.Subjoins)
+	}
+	if info.Stats.PrunedEmpty == 0 {
+		t.Fatal("no empty-store pruning despite quiet dimensions")
+	}
+	if info.Stats.Executed >= 64 {
+		t.Fatalf("full pruning executed %d of 127 compensation subjoins", info.Stats.Executed)
+	}
+}
+
+func TestCHInsertOrderGrowsDeltas(t *testing.T) {
+	c := smallCH(t)
+	before := c.DB.MustTable(TOrderline).DeltaRows()
+	if err := c.InsertOrder(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.DB.MustTable(TOrderline).DeltaRows()
+	if after != before+c.Cfg.LinesPerOrder {
+		t.Fatalf("orderline delta %d -> %d, want +%d", before, after, c.Cfg.LinesPerOrder)
+	}
+}

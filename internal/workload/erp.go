@@ -1,0 +1,456 @@
+// Package workload provides the data generators and query sets of the
+// paper's evaluation (Sec. 6): a synthetic financial-accounting ERP workload
+// following the header/item/dimension schema-design patterns of Sec. 3, and
+// a scaled CH-benCHmark (TPC-C-derived) database with the four analytical
+// queries of Fig. 9.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggcache/internal/column"
+	"aggcache/internal/expr"
+	"aggcache/internal/md"
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+)
+
+// ERPConfig sizes the synthetic ERP database. The paper's production
+// dataset (35 M headers, 330 M items, <2000 categories) is scaled down;
+// ratios — items per header, dimension size, temporal insert locality — are
+// preserved.
+type ERPConfig struct {
+	// Headers is the number of header rows bulk-loaded into main storage.
+	Headers int
+	// ItemsPerHeader is the number of item rows per business object
+	// (paper ratio ~9.4:1).
+	ItemsPerHeader int
+	// Categories is the dimension cardinality.
+	Categories int
+	// Languages are the text variants per category; the first is the one
+	// the profit query filters on.
+	Languages []string
+	// Years is the fiscal-year spread; headers are loaded oldest-first so
+	// insertion order correlates with time, as in a real system.
+	Years int
+	// BaseYear is the first fiscal year.
+	BaseYear int
+	// ColdShare, when positive, creates Header and Item as hot/cold
+	// range-partitioned tables (on the header tid) with this fraction of
+	// the bulk-loaded objects in the cold partition (paper Sec. 5.4 uses
+	// cold:hot = 3:1, i.e. 0.75).
+	ColdShare float64
+	// Seed drives the deterministic random generator.
+	Seed int64
+}
+
+// DefaultERPConfig returns a laptop-scale configuration.
+func DefaultERPConfig() ERPConfig {
+	return ERPConfig{
+		Headers:        20000,
+		ItemsPerHeader: 10,
+		Categories:     200,
+		Languages:      []string{"ENG", "GER", "FRA"},
+		Years:          5,
+		BaseYear:       2010,
+		Seed:           1,
+	}
+}
+
+// ERP is a generated ERP database: schema, matching dependencies, loaded
+// main stores, and an insert stream for growing the deltas.
+type ERP struct {
+	DB  *table.DB
+	Reg *md.Registry
+	Cfg ERPConfig
+
+	rng        *rand.Rand
+	nextHeader int64
+	nextItem   int64
+	// catTID records the insertion TID of each category's language rows so
+	// the generator can fill Item's tidCategory column (all language
+	// variants of a category are inserted in one transaction and share it).
+	catTID map[int64]txn.TID
+}
+
+// Table and column names of the ERP schema.
+const (
+	THeader   = "Header"
+	TItem     = "Item"
+	TCategory = "ProductCategory"
+)
+
+// BuildERP creates the schema, registers the Header-Item matching
+// dependency, loads the dimension, and bulk-loads the configured number of
+// business objects into the main stores.
+func BuildERP(cfg ERPConfig) (*ERP, error) {
+	if cfg.Headers < 0 || cfg.ItemsPerHeader <= 0 || cfg.Categories <= 0 || len(cfg.Languages) == 0 {
+		return nil, fmt.Errorf("workload: invalid ERP config %+v", cfg)
+	}
+	if cfg.Years <= 0 {
+		cfg.Years = 1
+	}
+	if cfg.BaseYear == 0 {
+		cfg.BaseYear = 2010
+	}
+	db := table.Open()
+	e := &ERP{
+		DB:         db,
+		Reg:        md.NewRegistry(db),
+		Cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		nextHeader: 1,
+		nextItem:   1,
+		catTID:     make(map[int64]txn.TID),
+	}
+
+	// The payload columns (document number, users, cost centers,
+	// materials, plants, ...) stand in for the dozens of descriptive
+	// attributes of real financial-accounting tables; without them the
+	// relative footprint of the tid columns would be overstated.
+	headerSchema := table.Schema{
+		Name: THeader,
+		Cols: []table.ColumnDef{
+			{Name: "HeaderID", Kind: column.Int64},
+			{Name: "FiscalYear", Kind: column.Int64},
+			{Name: "Region", Kind: column.String},
+			{Name: "DocNumber", Kind: column.String},
+			{Name: "CreatedBy", Kind: column.String},
+			{Name: "CompanyCode", Kind: column.String},
+			{Name: "TidHeader", Kind: column.Int64},
+		},
+		PK: "HeaderID",
+	}
+	itemSchema := table.Schema{
+		Name: TItem,
+		Cols: []table.ColumnDef{
+			{Name: "ItemID", Kind: column.Int64},
+			{Name: "HeaderID", Kind: column.Int64},
+			{Name: "CategoryID", Kind: column.Int64},
+			{Name: "Price", Kind: column.Float64},
+			{Name: "Quantity", Kind: column.Int64},
+			{Name: "Material", Kind: column.String},
+			{Name: "Plant", Kind: column.String},
+			{Name: "CostCenter", Kind: column.String},
+			{Name: "Account", Kind: column.String},
+			{Name: "Unit", Kind: column.String},
+			{Name: "TidItem", Kind: column.Int64},
+			{Name: "TidHeader", Kind: column.Int64},
+			{Name: "TidCategory", Kind: column.Int64},
+		},
+		PK: "ItemID",
+	}
+	catSchema := table.Schema{
+		Name: TCategory,
+		Cols: []table.ColumnDef{
+			{Name: "CatRowID", Kind: column.Int64},
+			{Name: "CategoryID", Kind: column.Int64},
+			{Name: "Name", Kind: column.String},
+			{Name: "Language", Kind: column.String},
+			{Name: "TidCategory", Kind: column.Int64},
+		},
+		PK: "CatRowID",
+	}
+
+	// The dimension always lives in a single partition; header and item may
+	// be hot/cold partitioned on the header tid (insertion time).
+	if cfg.ColdShare > 0 {
+		// Dimension rows burn cfg.Categories TIDs; the split TID separates
+		// the cold fraction of the bulk-loaded business objects.
+		splitTID := int64(cfg.Categories) + int64(float64(cfg.Headers)*cfg.ColdShare) + 1
+		ranges := []table.RangePartition{
+			{Name: "cold", Lo: 0, Hi: splitTID},
+			{Name: "hot", Lo: splitTID, Hi: 1 << 62},
+		}
+		if _, err := db.CreatePartitioned(headerSchema, "TidHeader", ranges); err != nil {
+			return nil, err
+		}
+		if _, err := db.CreatePartitioned(itemSchema, "TidHeader", ranges); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := db.Create(headerSchema); err != nil {
+			return nil, err
+		}
+		if _, err := db.Create(itemSchema); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Create(catSchema); err != nil {
+		return nil, err
+	}
+
+	if err := e.Reg.Add(md.MD{
+		Parent: THeader, ParentPK: "HeaderID", ParentTID: "TidHeader",
+		Child: TItem, ChildFK: "HeaderID", ChildTID: "TidHeader",
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := e.loadDimension(); err != nil {
+		return nil, err
+	}
+	if err := e.bulkLoadObjects(cfg.Headers); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// loadDimension inserts the category rows (one per language, all variants
+// of a category in one transaction) and merges them into main — settled
+// master data with an empty delta, per the workload patterns of Sec. 3.
+func (e *ERP) loadDimension() error {
+	cat := e.DB.MustTable(TCategory)
+	rowID := int64(1)
+	for c := 1; c <= e.Cfg.Categories; c++ {
+		tx := e.DB.Txns().Begin()
+		e.catTID[int64(c)] = tx.ID()
+		for _, lang := range e.Cfg.Languages {
+			vals := []column.Value{
+				column.IntV(rowID),
+				column.IntV(int64(c)),
+				column.StrV(fmt.Sprintf("Category-%04d-%s", c, lang)),
+				column.StrV(lang),
+				column.IntV(int64(tx.ID())),
+			}
+			rowID++
+			if _, err := cat.Insert(tx, vals); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		tx.Commit()
+	}
+	return e.DB.MergeTables(false, TCategory)
+}
+
+// bulkLoadObjects loads n business objects straight into the main stores
+// with synthetic, strictly increasing header TIDs — the state after a long
+// history of inserts followed by delta merges. Objects are ordered by
+// fiscal year (oldest first), so TIDs correlate with time. With hot/cold
+// partitioning the cold share lands in the cold partition by TID routing.
+func (e *ERP) bulkLoadObjects(n int) error {
+	if n == 0 {
+		return nil
+	}
+	base := e.DB.Txns().Watermark()
+	hdrRowsByPart := map[int][][]column.Value{}
+	hdrTIDsByPart := map[int][]txn.TID{}
+	itemRowsByPart := map[int][][]column.Value{}
+	itemTIDsByPart := map[int][]txn.TID{}
+	hdrTable := e.DB.MustTable(THeader)
+
+	for k := 0; k < n; k++ {
+		tid := base + txn.TID(k) + 1
+		year := e.Cfg.BaseYear + k*e.Cfg.Years/n
+		hid := e.nextHeader
+		e.nextHeader++
+		hrow := e.headerRow(hid, year, tid)
+		part := e.partitionFor(hdrTable, hrow)
+		hdrRowsByPart[part] = append(hdrRowsByPart[part], hrow)
+		hdrTIDsByPart[part] = append(hdrTIDsByPart[part], tid)
+		for j := 0; j < e.Cfg.ItemsPerHeader; j++ {
+			// TidItem and TidHeader are both the object's insertion TID.
+			irow := e.itemRow(hid, tid, tid)
+			itemRowsByPart[part] = append(itemRowsByPart[part], irow)
+			itemTIDsByPart[part] = append(itemTIDsByPart[part], tid)
+		}
+	}
+	for part, rows := range hdrRowsByPart {
+		if err := hdrTable.BulkLoadMain(part, rows, hdrTIDsByPart[part]); err != nil {
+			return err
+		}
+	}
+	itemTable := e.DB.MustTable(TItem)
+	for part, rows := range itemRowsByPart {
+		if err := itemTable.BulkLoadMain(part, rows, itemTIDsByPart[part]); err != nil {
+			return err
+		}
+	}
+	e.DB.Txns().AdvanceTo(base + txn.TID(n))
+	return nil
+}
+
+var (
+	regions      = []string{"EMEA", "AMER", "APAC"}
+	companyCodes = []string{"1000", "2000", "3000"}
+	units        = []string{"EA", "KG", "M", "L"}
+)
+
+// headerRow builds one header row.
+func (e *ERP) headerRow(hid int64, year int, tid txn.TID) []column.Value {
+	return []column.Value{
+		column.IntV(hid),
+		column.IntV(int64(year)),
+		column.StrV(regions[int(hid)%len(regions)]),
+		column.StrV(fmt.Sprintf("DOC-%09d", hid)),
+		column.StrV(fmt.Sprintf("user-%03d", e.rng.Intn(500))),
+		column.StrV(companyCodes[int(hid)%len(companyCodes)]),
+		column.IntV(int64(tid)),
+	}
+}
+
+// itemRow builds one item row; tidHeader 0 leaves the MD column for
+// FillChildTIDs to enforce.
+func (e *ERP) itemRow(hid int64, tidItem, tidHeader txn.TID) []column.Value {
+	catID := 1 + e.rng.Int63n(int64(e.Cfg.Categories))
+	row := []column.Value{
+		column.IntV(e.nextItem),
+		column.IntV(hid),
+		column.IntV(catID),
+		column.FloatV(float64(1 + e.rng.Intn(1000))),
+		column.IntV(1 + e.rng.Int63n(50)),
+		column.StrV(fmt.Sprintf("MAT-%05d", e.rng.Intn(5000))),
+		column.StrV(fmt.Sprintf("P%02d", e.rng.Intn(20))),
+		column.StrV(fmt.Sprintf("CC-%04d", e.rng.Intn(300))),
+		column.StrV(fmt.Sprintf("ACC-%05d", e.rng.Intn(1000))),
+		column.StrV(units[e.rng.Intn(len(units))]),
+		column.IntV(int64(tidItem)),
+		column.IntV(int64(tidHeader)),
+		column.IntV(int64(e.catTID[catID])),
+	}
+	e.nextItem++
+	return row
+}
+
+// ItemCol resolves an Item column name to its schema index; benchmark
+// drivers use it to fill tid columns without hard-coding positions.
+func (e *ERP) ItemCol(name string) int {
+	return e.DB.MustTable(TItem).Schema().MustColIndex(name)
+}
+
+// partitionFor routes a row the same way Insert would; single-partition
+// tables always return 0.
+func (e *ERP) partitionFor(t *table.Table, vals []column.Value) int {
+	parts := t.Partitions()
+	if len(parts) == 1 {
+		return 0
+	}
+	tid := vals[t.Schema().MustColIndex("TidHeader")].I
+	for i, p := range parts {
+		if tid >= p.Lo && tid < p.Hi {
+			return i
+		}
+	}
+	return len(parts) - 1
+}
+
+// InsertBusinessObject inserts one header with the given number of items in
+// a single transaction, enforcing the matching dependency (the child tid is
+// looked up from the header) — the insert pattern of Sec. 3.2.
+func (e *ERP) InsertBusinessObject(items int) error {
+	tx := e.DB.Txns().Begin()
+	hid := e.nextHeader
+	e.nextHeader++
+	year := e.Cfg.BaseYear + e.Cfg.Years - 1 // new objects belong to the current year
+	hvals := e.headerRow(hid, year, tx.ID())
+	if _, err := e.DB.MustTable(THeader).Insert(tx, hvals); err != nil {
+		tx.Abort()
+		return err
+	}
+	for j := 0; j < items; j++ {
+		// TidHeader is left zero for the MD enforcement to fill.
+		ivals := e.itemRow(hid, tx.ID(), 0)
+		if err := e.Reg.FillChildTIDs(TItem, ivals); err != nil {
+			tx.Abort()
+			return err
+		}
+		if _, err := e.DB.MustTable(TItem).Insert(tx, ivals); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	tx.Commit()
+	return nil
+}
+
+// InsertBusinessObjects inserts n business objects with the configured
+// items-per-header ratio.
+func (e *ERP) InsertBusinessObjects(n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.InsertBusinessObject(e.Cfg.ItemsPerHeader); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProfitQuery is the paper's Listing 1: profit per product category for one
+// fiscal year, in one language.
+func (e *ERP) ProfitQuery(year int, language string) *query.Query {
+	return &query.Query{
+		Tables: []string{THeader, TItem, TCategory},
+		Joins: []query.JoinEdge{
+			{Left: query.ColRef{Table: THeader, Col: "HeaderID"}, Right: query.ColRef{Table: TItem, Col: "HeaderID"}},
+			{Left: query.ColRef{Table: TItem, Col: "CategoryID"}, Right: query.ColRef{Table: TCategory, Col: "CategoryID"}},
+		},
+		Filters: map[string]expr.Pred{
+			THeader:   expr.Cmp{Col: "FiscalYear", Op: expr.Eq, Val: column.IntV(int64(year))},
+			TCategory: expr.Cmp{Col: "Language", Op: expr.Eq, Val: column.StrV(language)},
+		},
+		GroupBy: []query.ColRef{{Table: TCategory, Col: "Name"}},
+		Aggs: []query.AggSpec{
+			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Profit"},
+		},
+	}
+}
+
+// YearRangeQuery aggregates items whose headers fall in [loYear, hiYear] —
+// the selectivity knob of the hot/cold experiment (Fig. 11).
+func (e *ERP) YearRangeQuery(loYear, hiYear int) *query.Query {
+	return &query.Query{
+		Tables: []string{THeader, TItem},
+		Joins: []query.JoinEdge{
+			{Left: query.ColRef{Table: THeader, Col: "HeaderID"}, Right: query.ColRef{Table: TItem, Col: "HeaderID"}},
+		},
+		Filters: map[string]expr.Pred{
+			THeader: expr.NewAnd(
+				expr.Cmp{Col: "FiscalYear", Op: expr.Ge, Val: column.IntV(int64(loYear))},
+				expr.Cmp{Col: "FiscalYear", Op: expr.Le, Val: column.IntV(int64(hiYear))},
+			),
+		},
+		GroupBy: []query.ColRef{{Table: TItem, Col: "CategoryID"}},
+		Aggs: []query.AggSpec{
+			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Revenue"},
+			{Func: query.Count, As: "N"},
+		},
+	}
+}
+
+// HeaderCountQuery is a single-table aggregate over Header — the shape used
+// by the maintenance-strategy experiment (Sec. 6.1).
+func (e *ERP) HeaderCountQuery() *query.Query {
+	return &query.Query{
+		Tables:  []string{THeader},
+		GroupBy: []query.ColRef{{Table: THeader, Col: "FiscalYear"}},
+		Aggs: []query.AggSpec{
+			{Func: query.Count, As: "N"},
+		},
+	}
+}
+
+// ItemRevenueQuery is a single-table aggregate over Item grouped by
+// category: the per-aggregate shape maintained by the materialized-view
+// baselines in the Fig. 6 experiment.
+func (e *ERP) ItemRevenueQuery() *query.Query {
+	return &query.Query{
+		Tables:  []string{TItem},
+		GroupBy: []query.ColRef{{Table: TItem, Col: "CategoryID"}},
+		Aggs: []query.AggSpec{
+			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Revenue"},
+			{Func: query.Count, As: "N"},
+		},
+	}
+}
+
+// NewItemRow builds one item row with zeroed TidItem and TidHeader for
+// external insertion paths (the overhead experiments fill the tids
+// themselves).
+func (e *ERP) NewItemRow(headerID int64) []column.Value {
+	return e.itemRow(headerID, 0, 0)
+}
+
+// NextHeaderID exposes the next unused header id (for external inserts).
+func (e *ERP) NextHeaderID() int64 { return e.nextHeader }

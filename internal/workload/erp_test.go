@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"testing"
+
+	"aggcache/internal/core"
+	"aggcache/internal/table"
+)
+
+func smallERP(t testing.TB, coldShare float64) *ERP {
+	t.Helper()
+	cfg := ERPConfig{
+		Headers:        60,
+		ItemsPerHeader: 3,
+		Categories:     5,
+		Languages:      []string{"ENG", "GER"},
+		Years:          3,
+		BaseYear:       2011,
+		ColdShare:      coldShare,
+		Seed:           42,
+	}
+	e, err := BuildERP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mainRows(t *table.Table) int {
+	n := 0
+	for _, p := range t.Partitions() {
+		n += p.Main.Rows()
+	}
+	return n
+}
+
+func TestBuildERPCounts(t *testing.T) {
+	e := smallERP(t, 0)
+	hdr := e.DB.MustTable(THeader)
+	item := e.DB.MustTable(TItem)
+	cat := e.DB.MustTable(TCategory)
+	if got := mainRows(hdr); got != 60 {
+		t.Fatalf("header main rows = %d, want 60", got)
+	}
+	if got := mainRows(item); got != 180 {
+		t.Fatalf("item main rows = %d, want 180", got)
+	}
+	if got := mainRows(cat); got != 10 {
+		t.Fatalf("category main rows = %d, want 10", got)
+	}
+	if hdr.DeltaRows() != 0 || item.DeltaRows() != 0 || cat.DeltaRows() != 0 {
+		t.Fatal("deltas must be empty after bulk load")
+	}
+}
+
+func TestBuildERPValidatesConfig(t *testing.T) {
+	bad := []ERPConfig{
+		{Headers: -1, ItemsPerHeader: 1, Categories: 1, Languages: []string{"ENG"}},
+		{Headers: 1, ItemsPerHeader: 0, Categories: 1, Languages: []string{"ENG"}},
+		{Headers: 1, ItemsPerHeader: 1, Categories: 0, Languages: []string{"ENG"}},
+		{Headers: 1, ItemsPerHeader: 1, Categories: 1, Languages: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildERP(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInsertBusinessObjectEnforcesMD(t *testing.T) {
+	e := smallERP(t, 0)
+	if err := e.InsertBusinessObjects(4); err != nil {
+		t.Fatal(err)
+	}
+	hdr := e.DB.MustTable(THeader)
+	item := e.DB.MustTable(TItem)
+	if hdr.DeltaRows() != 4 || item.DeltaRows() != 12 {
+		t.Fatalf("delta rows = %d/%d, want 4/12", hdr.DeltaRows(), item.DeltaRows())
+	}
+	// Every delta item's TidHeader equals its header's TidHeader.
+	ds := item.Partition(0).Delta
+	hs := item.Schema()
+	hidIdx := hs.MustColIndex("HeaderID")
+	tidIdx := hs.MustColIndex("TidHeader")
+	for r := 0; r < ds.Rows(); r++ {
+		hid := ds.Col(hidIdx).Int64(r)
+		ref, ok := hdr.LookupPK(hid)
+		if !ok {
+			t.Fatalf("item row %d references missing header %d", r, hid)
+		}
+		htid := hdr.Get(ref, hdr.Schema().MustColIndex("TidHeader")).I
+		if ds.Col(tidIdx).Int64(r) != htid {
+			t.Fatalf("item tid %d != header tid %d", ds.Col(tidIdx).Int64(r), htid)
+		}
+	}
+}
+
+func TestERPTIDsIncreaseAcrossBulkBoundary(t *testing.T) {
+	e := smallERP(t, 0)
+	// Max bulk-loaded tid must be below the first inserted tid.
+	item := e.DB.MustTable(TItem)
+	tidIdx := item.Schema().MustColIndex("TidHeader")
+	_, hi, ok := item.Partition(0).Main.Col(tidIdx).MinMax()
+	if !ok {
+		t.Fatal("empty main")
+	}
+	if err := e.InsertBusinessObjects(1); err != nil {
+		t.Fatal(err)
+	}
+	lo, _, ok := item.Partition(0).Delta.Col(tidIdx).MinMax()
+	if !ok {
+		t.Fatal("empty delta")
+	}
+	if lo.I <= hi.I {
+		t.Fatalf("delta tid %d not above main tid %d", lo.I, hi.I)
+	}
+}
+
+func TestProfitQueryStrategiesAgree(t *testing.T) {
+	e := smallERP(t, 0)
+	e.InsertBusinessObjects(5)
+	mgr := core.NewManager(e.DB, e.Reg, core.Config{})
+	q := e.ProfitQuery(e.Cfg.BaseYear+e.Cfg.Years-1, "ENG")
+	want, _, err := mgr.Execute(q, core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Groups() == 0 {
+		t.Fatal("profit query returned nothing; generator broken")
+	}
+	for _, s := range core.Strategies()[1:] {
+		got, _, err := mgr.Execute(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("strategy %v diverges", s)
+		}
+	}
+}
+
+func TestHotColdLayout(t *testing.T) {
+	e := smallERP(t, 0.75)
+	hdr := e.DB.MustTable(THeader)
+	if len(hdr.Partitions()) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(hdr.Partitions()))
+	}
+	cold, hot := hdr.Partition(0), hdr.Partition(1)
+	if cold.Main.Rows() == 0 || hot.Main.Rows() == 0 {
+		t.Fatalf("cold=%d hot=%d rows; both must be populated", cold.Main.Rows(), hot.Main.Rows())
+	}
+	if cold.Main.Rows() <= hot.Main.Rows() {
+		t.Fatalf("cold (%d) must outweigh hot (%d) at 3:1", cold.Main.Rows(), hot.Main.Rows())
+	}
+	// New inserts route to the hot delta; the cold delta stays empty.
+	if err := e.InsertBusinessObjects(3); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Delta.Rows() != 0 {
+		t.Fatal("insert leaked into the cold delta")
+	}
+	if hot.Delta.Rows() != 3 {
+		t.Fatalf("hot delta rows = %d, want 3", hot.Delta.Rows())
+	}
+}
+
+func TestHotColdQueriesAgree(t *testing.T) {
+	e := smallERP(t, 0.75)
+	e.InsertBusinessObjects(4)
+	mgr := core.NewManager(e.DB, e.Reg, core.Config{})
+	q := e.YearRangeQuery(e.Cfg.BaseYear, e.Cfg.BaseYear+e.Cfg.Years)
+	want, st, err := mgr.Execute(q, core.Uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 tables x 2 partitions = 4 stores each: 16 subjoins uncached.
+	if st.Stats.Subjoins != 16 {
+		t.Fatalf("subjoins = %d, want 16", st.Stats.Subjoins)
+	}
+	for _, s := range core.Strategies()[1:] {
+		got, info, err := mgr.Execute(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("strategy %v diverges on hot/cold", s)
+		}
+		if s == core.CachedFullPruning && info.Stats.PrunedMD == 0 {
+			t.Fatalf("full pruning pruned nothing across hot/cold: %+v", info.Stats)
+		}
+	}
+}
+
+func TestSingleTableQueries(t *testing.T) {
+	e := smallERP(t, 0)
+	if err := e.HeaderCountQuery().Validate(e.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ItemRevenueQuery().Validate(e.DB); err != nil {
+		t.Fatal(err)
+	}
+	row := e.NewItemRow(1)
+	if len(row) != len(e.DB.MustTable(TItem).Schema().Cols) {
+		t.Fatalf("item row arity = %d", len(row))
+	}
+	if row[e.ItemCol("TidItem")].I != 0 || row[e.ItemCol("TidHeader")].I != 0 {
+		t.Fatal("NewItemRow must leave tids zeroed")
+	}
+	if e.NextHeaderID() != 61 {
+		t.Fatalf("NextHeaderID = %d, want 61", e.NextHeaderID())
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	e := DefaultERPConfig()
+	if e.Headers <= 0 || e.ItemsPerHeader <= 0 || len(e.Languages) == 0 {
+		t.Fatalf("DefaultERPConfig = %+v", e)
+	}
+	c := DefaultCHConfig()
+	if c.Orders <= 0 || c.DeltaShare <= 0 || c.DeltaShare >= 1 {
+		t.Fatalf("DefaultCHConfig = %+v", c)
+	}
+}
