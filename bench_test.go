@@ -240,6 +240,36 @@ func BenchmarkFig7JoinPruning(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7JoinPruningTraced is the observability overhead guard: the
+// same profit query as BenchmarkFig7JoinPruning, once through the untraced
+// Execute path (metrics counters only — the production hot path) and once
+// through ExplainAnalyze with full span recording. Comparing the two
+// sub-benchmarks bounds the cost of tracing; the untraced path's allocation
+// behavior is asserted separately in internal/obs (testing.AllocsPerRun on
+// the counter hot path).
+func BenchmarkFig7JoinPruningTraced(b *testing.B) {
+	_, mgr, q := joinScenario.get(b)
+	if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tracing-disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tracing-enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := mgr.ExplainAnalyze(q, core.CachedFullPruning); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig8GrowingDelta measures the same query while the benchmark
 // itself keeps inserting — each iteration interleaves one business-object
 // insert with one cached query, so the delta grows as in Fig. 8.

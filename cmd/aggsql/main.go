@@ -16,9 +16,18 @@
 //	\strategy <name>     uncached | none | empty | full (default full)
 //	\insert <n>          insert n business objects / orders into the deltas
 //	\merge               synchronized delta merge of the transactional tables
-//	\cache               show aggregate cache entries and metrics
+//	\cache               show aggregate cache entries sorted by profit
+//	\stats               dump the observability registry (counters, latencies)
 //	\help                this text
 //	\quit                exit
+//
+// Prefix any SELECT with EXPLAIN ANALYZE to execute it with tracing and
+// print the span tree: cache-lookup verdict, main/delta compensation, and
+// one line per subjoin combination with its prune/pushdown verdict.
+//
+// With -debug <addr> the shell serves the observability debug endpoint:
+// /metrics (registry snapshot as JSON) and /debug/cache (entry metrics
+// sorted by profit).
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"aggcache/internal/core"
+	"aggcache/internal/obs"
 	"aggcache/internal/query"
 	"aggcache/internal/sql"
 	"aggcache/internal/table"
@@ -51,8 +61,9 @@ type shell struct {
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "erp", "erp or ch")
-		stmt    = flag.String("c", "", "execute one statement and exit")
+		dataset   = flag.String("dataset", "erp", "erp or ch")
+		stmt      = flag.String("c", "", "execute one statement and exit")
+		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache) on this address")
 	)
 	flag.Parse()
 
@@ -60,6 +71,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), func() any {
+			return sh.mgr.EntriesByProfit()
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint on http://%s/metrics and /debug/cache\n", addr)
 	}
 
 	if *stmt != "" {
@@ -143,6 +165,11 @@ func load(dataset string) (*shell, error) {
 }
 
 func (sh *shell) runStatement(stmt string) error {
+	// EXPLAIN ANALYZE <select>: execute with tracing and print the span
+	// tree instead of the result rows.
+	if rest, ok := stripExplainAnalyze(stmt); ok {
+		return sh.runExplainAnalyze(rest)
+	}
 	st, err := sql.Parse(sh.db, stmt)
 	if err != nil {
 		return err
@@ -158,6 +185,36 @@ func (sh *shell) runStatement(stmt string) error {
 		res.Groups(), elapsed.Round(10*time.Microsecond), info.Strategy, info.CacheHit,
 		info.Stats.Executed, info.Stats.Subjoins, info.Stats.PrunedMD,
 		info.Stats.PrunedEmpty, info.Stats.Pushdowns)
+	return nil
+}
+
+// stripExplainAnalyze detects a leading EXPLAIN ANALYZE (case-insensitive)
+// and returns the statement after it.
+func stripExplainAnalyze(stmt string) (string, bool) {
+	fields := strings.Fields(stmt)
+	if len(fields) < 3 ||
+		!strings.EqualFold(fields[0], "EXPLAIN") || !strings.EqualFold(fields[1], "ANALYZE") {
+		return "", false
+	}
+	trimmed := strings.TrimSpace(stmt)
+	trimmed = strings.TrimSpace(trimmed[len(fields[0]):])
+	return strings.TrimSpace(trimmed[len(fields[1]):]), true
+}
+
+func (sh *shell) runExplainAnalyze(stmt string) error {
+	st, err := sql.Parse(sh.db, stmt)
+	if err != nil {
+		return err
+	}
+	res, info, sp, err := sh.mgr.ExplainAnalyze(st.Query, sh.strategy)
+	if err != nil {
+		return err
+	}
+	sp.Render(os.Stdout)
+	fmt.Printf("-- %d group(s) in %s [%s: hit=%v subjoins %d/%d, md-pruned %d, scan-pruned %d, empty-pruned %d, pushdowns %d, rows scanned %d]\n",
+		res.Groups(), info.Total.Round(10*time.Microsecond), info.Strategy, info.CacheHit,
+		info.Stats.Executed, info.Stats.Subjoins, info.Stats.PrunedMD, info.Stats.PrunedScan,
+		info.Stats.PrunedEmpty, info.Stats.Pushdowns, info.Stats.RowsScanned)
 	return nil
 }
 
@@ -199,7 +256,8 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \quit`)
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \stats  \quit
+EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 	case "\\tables":
 		for _, name := range sh.db.TableNames() {
 			t := sh.db.MustTable(name)
@@ -252,6 +310,27 @@ func (sh *shell) runCommand(cmd string) bool {
 		fmt.Printf("merged %s in %s\n", strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
 	case "\\cache":
 		fmt.Printf("entries=%d totalBytes=%d\n", sh.mgr.Len(), sh.mgr.SizeBytes())
+		for _, e := range sh.mgr.EntriesByProfit() {
+			staleMark := ""
+			if e.Stale {
+				staleMark = " STALE"
+			}
+			fmt.Printf("  profit=%10.3f hits=%-5d size=%-8d dirty=%-4d rebuilds=%d maint=%d%s\n    %s\n",
+				e.Profit, e.Hits, e.SizeBytes, e.DirtyCounter, e.Rebuilds, e.Maintenances, staleMark, e.Key)
+		}
+	case "\\stats":
+		snap := sh.mgr.Metrics().Snapshot()
+		for _, name := range obs.Names(snap.Counters) {
+			fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
+		}
+		for _, name := range obs.Names(snap.Gauges) {
+			fmt.Printf("  %-28s %d\n", name, snap.Gauges[name])
+		}
+		for _, name := range obs.Names(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Printf("  %-28s count=%d mean=%.0fus p50=%dus p99=%dus\n",
+				name, h.Count, h.MeanUS, h.P50US, h.P99US)
+		}
 	default:
 		fmt.Printf("unknown command %s (\\help)\n", fields[0])
 	}

@@ -1,12 +1,16 @@
 // Command benchrunner regenerates the paper's evaluation tables and
 // figures. Each experiment prints the same series the corresponding figure
 // plots, in milliseconds and (with -normalize) as normalized execution
-// times.
+// times. With -json each experiment additionally writes BENCH_<exp>.json —
+// the series plus the observability-registry snapshot of the run — the
+// machine-readable perf trajectory tracked across PRs.
 //
 // Usage:
 //
 //	benchrunner -exp fig7            # one experiment, full scale
 //	benchrunner -exp all -quick      # every experiment, scaled down
+//	benchrunner -exp fig7 -json      # also write BENCH_fig7.json
+//	benchrunner -debug :8080 ...     # serve /metrics while running
 //	benchrunner -list                # list experiment IDs
 package main
 
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"aggcache/internal/bench"
+	"aggcache/internal/obs"
 )
 
 func main() {
@@ -23,6 +28,9 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment id (fig6, mem, insert, fig7, fig8, fig9, fig10, fig11) or 'all'")
 		quick     = flag.Bool("quick", false, "run the scaled-down configurations")
 		normalize = flag.Bool("normalize", false, "additionally print normalized execution times (as the paper plots)")
+		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json per experiment (series + metrics snapshot)")
+		outDir    = flag.String("out", ".", "directory for -json output files")
+		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics) on this address while running")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -32,6 +40,15 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint on http://%s/metrics\n", addr)
 	}
 
 	var todo []bench.Experiment
@@ -47,6 +64,9 @@ func main() {
 	}
 
 	for _, e := range todo {
+		// Each experiment reports into a clean registry so its JSON
+		// snapshot describes that experiment alone.
+		obs.Default().Reset()
 		res, err := e.Run(*quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
@@ -55,6 +75,14 @@ func main() {
 		res.Render(os.Stdout)
 		if *normalize {
 			res.Normalized().Render(os.Stdout)
+		}
+		if *jsonOut {
+			path := fmt.Sprintf("%s/BENCH_%s.json", *outDir, e.ID)
+			if err := res.Report(*quick, obs.Default().Snapshot()).WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
 	}
 }

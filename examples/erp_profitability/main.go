@@ -86,9 +86,9 @@ func main() {
 	if err := erp.DB.MergeTables(false, workload.THeader, workload.TItem); err != nil {
 		log.Fatal(err)
 	}
-	if entry, ok := mgr.Entry(q); ok {
+	if em, ok := mgr.EntryMetrics(q); ok {
 		fmt.Printf("cache entry maintained incrementally: maintenances=%d rebuilds=%d\n",
-			entry.Metrics.Maintenances, entry.Metrics.Rebuilds)
+			em.Maintenances, em.Rebuilds)
 	}
 	run("after the merge")
 }

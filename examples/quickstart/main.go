@@ -143,8 +143,10 @@ func main() {
 	if err := db.MergeTables(false, "orders", "lines"); err != nil {
 		log.Fatal(err)
 	}
-	entry, _ := mgr.Entry(q)
+	// EntryMetrics copies the metrics under the manager lock — the
+	// race-safe way to introspect an entry (see the Entry doc comment).
+	em, _ := mgr.EntryMetrics(q)
 	fmt.Printf("after merge: entry maintained %d time(s) during merges, rebuilt %d time(s)\n",
-		entry.Metrics.Maintenances, entry.Metrics.Rebuilds)
+		em.Maintenances, em.Rebuilds)
 	show("after merge (served from the maintained entry)")
 }

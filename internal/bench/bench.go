@@ -6,41 +6,74 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
+
+	"aggcache/internal/obs"
 )
 
 // Point is one measurement: X is the experiment's sweep variable, Y the
 // measured value (milliseconds unless the result says otherwise).
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one plotted line: a strategy or configuration across the sweep.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
 }
 
 // Result is one reproduced figure or table.
 type Result struct {
 	// ID is the experiment identifier (e.g. "fig7").
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// XLabel and YLabel name the axes.
-	XLabel, YLabel string
+	XLabel string `json:"x_label"`
+	YLabel string `json:"y_label"`
 	// XFormat renders sweep values ("%.0f" default).
-	XFormat string
+	XFormat string `json:"-"`
 	// Series holds one line per strategy/configuration.
-	Series []Series
+	Series []Series `json:"series"`
 	// Notes carries observations the paper's text reports alongside the
 	// figure (speedup factors, crossover points).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Report is the machine-readable bench output: the experiment's series
+// plus the observability-registry snapshot taken after the run, so every
+// result file records not only how fast the run was but what the engine
+// did (subjoins pruned, cache hits, rows scanned). Written as
+// BENCH_<id>.json, it is the perf trajectory consumed by later PRs.
+type Report struct {
+	Result *Result `json:"result"`
+	// Quick marks scaled-down smoke configurations; quick numbers are not
+	// comparable with full runs.
+	Quick bool `json:"quick"`
+	// Metrics is the registry snapshot after the experiment.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Report pairs the result with a metrics snapshot.
+func (r *Result) Report(quick bool, snap obs.Snapshot) *Report {
+	return &Report{Result: r, Quick: quick, Metrics: snap}
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (rep *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // Normalized returns a copy with every Y divided by the maximum Y across

@@ -49,6 +49,16 @@ func (m *Metrics) Profit() float64 {
 // query fingerprint), the cached value computed on main stores only, the
 // visibility vectors of those stores at computation time, and the profit
 // metrics.
+//
+// Locking invariant: every mutable field of an admitted Entry — Value,
+// SnapHigh, MainVis, MainInv, Stale, and all of Metrics (Hits, LastAccess,
+// DirtyCounter, ...) — is guarded by the owning Manager's mu. The manager
+// mutates them only with mu held (prepare, compensateAndAccount,
+// mainCompensate, and the merge hook all lock it). Callers that obtained
+// the pointer via Manager.Entry may read these fields only while execution
+// is quiescent (no concurrent Execute/merge); concurrent introspection must
+// go through Manager.EntryMetrics or Manager.EntriesByProfit, which copy
+// under the lock. TestEntryMetricsRace audits this under -race.
 type Entry struct {
 	// Key is the canonical query fingerprint.
 	Key string

@@ -34,7 +34,7 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		// Fold the merging delta against the other tables' main stores:
 		// exactly the subjoins the new, larger main will cover from now on.
 		combos := mergeFoldCombos(db, e.Query, tbl.Name(), part)
-		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st); err != nil {
+		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st, nil); err != nil {
 			e.Stale = true
 			continue
 		}
@@ -44,7 +44,10 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		e.Metrics.MainRows += st.TuplesJoined
 		e.Metrics.Maintenances++
 		e.SnapHigh = snap.High
+		m.obs.maintenances.Inc()
+		m.obs.recordStats(&st)
 	}
+	m.syncGauges()
 }
 
 func (h *mergeHook) AfterMerge(db *table.DB, tbl *table.Table, part int) {

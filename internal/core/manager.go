@@ -6,6 +6,7 @@ import (
 
 	"aggcache/internal/expr"
 	"aggcache/internal/md"
+	"aggcache/internal/obs"
 	"aggcache/internal/query"
 	"aggcache/internal/table"
 	"aggcache/internal/txn"
@@ -27,6 +28,10 @@ type Config struct {
 	// is rebuilt on next access instead of being compensated by
 	// inclusion-exclusion over the invalidated-row subjoins.
 	DisableJoinCompensation bool
+	// Metrics selects the observability registry the manager reports
+	// into; nil uses the process-wide obs.Default(). Tests inject a
+	// private registry to read counters in isolation.
+	Metrics *obs.Registry
 }
 
 // ExecInfo reports how one query execution was served.
@@ -63,6 +68,7 @@ type Manager struct {
 	cfg     Config
 	entries map[string]*Entry
 	bytes   uint64
+	obs     *managerObs
 	// Evictions counts evicted entries (for introspection and tests).
 	Evictions int64
 }
@@ -81,6 +87,7 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		exec:    &query.Executor{DB: db},
 		cfg:     cfg,
 		entries: make(map[string]*Entry),
+		obs:     newManagerObs(cfg.Metrics),
 	}
 	db.RegisterMergeHook(&mergeHook{m: m})
 	return m
@@ -114,6 +121,7 @@ func (m *Manager) Clear() {
 	defer m.mu.Unlock()
 	m.entries = make(map[string]*Entry)
 	m.bytes = 0
+	m.syncGauges()
 }
 
 // Execute runs an aggregate query block with the chosen strategy under the
@@ -122,30 +130,49 @@ func (m *Manager) Clear() {
 func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
-	return m.execute(q, m.db.Txns().ReadSnapshot(), strat)
+	return m.execute(q, m.db.Txns().ReadSnapshot(), strat, nil)
 }
 
 // ExecuteAt is Execute against an explicit snapshot; the caller must hold
 // the database read lock or otherwise guarantee quiescence.
 func (m *Manager) ExecuteAt(q *query.Query, snap txn.Snapshot, strat Strategy) (*query.AggTable, ExecInfo, error) {
-	return m.execute(q, snap, strat)
+	return m.execute(q, snap, strat, nil)
 }
 
-func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy) (*query.AggTable, ExecInfo, error) {
+// ExplainAnalyze is Execute with tracing enabled: it additionally returns
+// the span tree of the execution — cache-lookup verdict, main and delta
+// compensation, and one child span per subjoin combination carrying its
+// prune/pushdown verdict. Tracing is per call; concurrent Execute calls on
+// the same manager stay untraced and unaffected.
+func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, *obs.Span, error) {
+	m.db.RLock()
+	defer m.db.RUnlock()
+	sp := obs.StartSpan("execute " + q.Fingerprint())
+	sp.Attr("strategy", strat.String())
+	res, info, err := m.execute(q, m.db.Txns().ReadSnapshot(), strat, sp)
+	sp.End()
+	return res, info, sp, err
+}
+
+func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp *obs.Span) (*query.AggTable, ExecInfo, error) {
 	start := time.Now()
 	info := ExecInfo{Strategy: strat}
-	e, uncachedRes, err := m.prepare(q, snap, strat, &info)
+	e, uncachedRes, err := m.prepare(q, snap, strat, &info, sp)
 	if err != nil || uncachedRes != nil {
 		info.Total = time.Since(start)
+		if err == nil {
+			m.obs.recordExec(&info)
+		}
 		return uncachedRes, info, err
 	}
 
 	// Delta compensation on a clone of the cached value.
 	res := e.Value.Clone()
-	if err := m.compensateAndAccount(e, q, snap, strat, res, &info); err != nil {
+	if err := m.compensateAndAccount(e, q, snap, strat, res, &info, sp); err != nil {
 		return nil, info, err
 	}
 	info.Total = time.Since(start)
+	m.obs.recordExec(&info)
 	return res, info, nil
 }
 
@@ -159,20 +186,22 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 	start := time.Now()
 	snap := m.db.Txns().ReadSnapshot()
 	info := ExecInfo{Strategy: strat}
-	e, uncachedRes, err := m.prepare(q, snap, strat, &info)
+	e, uncachedRes, err := m.prepare(q, snap, strat, &info, nil)
 	if err != nil {
 		return nil, info, err
 	}
 	if uncachedRes != nil {
 		info.Total = time.Since(start)
+		m.obs.recordExec(&info)
 		return uncachedRes.Rows(), info, nil
 	}
 	comp := query.NewAggTable(q.Aggs)
-	if err := m.compensateAndAccount(e, q, snap, strat, comp, &info); err != nil {
+	if err := m.compensateAndAccount(e, q, snap, strat, comp, &info, nil); err != nil {
 		return nil, info, err
 	}
 	rows := e.Value.MergedRows(comp)
 	info.Total = time.Since(start)
+	m.obs.recordExec(&info)
 	return rows, info, nil
 }
 
@@ -180,12 +209,14 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 // rebuild when stale, and main compensation on hit. For the Uncached
 // strategy and for snapshots predating the entry it executes the query
 // directly and returns the result in its second return value.
-func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, info *ExecInfo) (*Entry, *query.AggTable, error) {
+func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, info *ExecInfo, sp *obs.Span) (*Entry, *query.AggTable, error) {
 	if strat == Uncached {
 		if err := q.Validate(m.db); err != nil {
 			return nil, nil, err
 		}
-		res, st, err := m.exec.ExecuteAll(q, snap)
+		us := sp.Child("execute-all")
+		res, st, err := m.exec.ExecuteAllSpan(q, snap, us)
+		us.End()
 		info.Stats = st
 		return nil, res, err
 	}
@@ -195,47 +226,75 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 
 	key := q.Fingerprint()
 	e, hit := m.entries[key]
+	lookup := sp.Child("cache-lookup")
 
 	// A snapshot older than the entry cannot be compensated forward;
 	// fall back to uncached execution (rare: long-running read-only
 	// transactions).
 	if hit && snap.High < e.SnapHigh {
 		info.Bypassed = true
-		res, st, err := m.exec.ExecuteAll(q, snap)
+		lookup.Attr("verdict", "bypass")
+		lookup.End()
+		us := sp.Child("execute-all")
+		res, st, err := m.exec.ExecuteAllSpan(q, snap, us)
+		us.End()
 		info.Stats = st
 		return nil, res, err
 	}
 
 	switch {
 	case !hit:
+		lookup.Attr("verdict", "miss")
+		lookup.End()
 		// Validation happens once per query definition: a cache hit means
 		// an identical, already-validated definition (the fingerprint
 		// covers the full query).
 		if err := q.Validate(m.db); err != nil {
 			return nil, nil, err
 		}
+		bs := sp.Child("build-entry")
 		var err error
-		e, err = m.buildEntry(q, key, snap, strat, &info.Stats)
+		e, err = m.buildEntry(q, key, snap, strat, &info.Stats, bs)
 		if err != nil {
 			return nil, nil, err
 		}
 		info.Admitted = m.admit(e)
+		if info.Admitted {
+			bs.Attr("admitted", "true")
+		} else {
+			bs.Attr("admitted", "false")
+		}
+		bs.End()
 	case e.Stale:
-		if err := m.rebuildEntry(e, snap, strat, &info.Stats); err != nil {
+		lookup.Attr("verdict", "stale")
+		lookup.End()
+		rs := sp.Child("rebuild-entry")
+		err := m.rebuildEntry(e, snap, strat, &info.Stats, rs)
+		rs.End()
+		if err != nil {
 			return nil, nil, err
 		}
 		info.Rebuilt = true
 	default:
 		info.CacheHit = true
+		lookup.Attr("verdict", "hit")
+		lookup.End()
 		// Main compensation: subtract rows invalidated since the entry's
 		// visibility snapshot (single-table), or rebuild (joins).
+		ms := sp.Child("main-compensation")
 		n, err := m.mainCompensate(e, snap, strat, &info.Stats)
 		if err != nil {
 			return nil, nil, err
 		}
+		ms.AttrInt("invalidated-rows", int64(n))
+		ms.End()
 		info.MainCompensated = n
 		if e.Stale {
-			if err := m.rebuildEntry(e, snap, strat, &info.Stats); err != nil {
+			rs := sp.Child("rebuild-entry")
+			rs.Attr("cause", "uncompensatable main invalidations")
+			err := m.rebuildEntry(e, snap, strat, &info.Stats, rs)
+			rs.End()
+			if err != nil {
 				return nil, nil, err
 			}
 			info.Rebuilt = true
@@ -247,14 +306,19 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 
 // compensateAndAccount runs delta compensation into out and updates the
 // entry's usage metrics.
-func (m *Manager) compensateAndAccount(e *Entry, q *query.Query, snap txn.Snapshot, strat Strategy, out *query.AggTable, info *ExecInfo) error {
+func (m *Manager) compensateAndAccount(e *Entry, q *query.Query, snap txn.Snapshot, strat Strategy, out *query.AggTable, info *ExecInfo, sp *obs.Span) error {
 	dcStart := time.Now()
 	before := info.Stats.TuplesJoined
-	if err := m.deltaCompensate(q, snap, strat, out, &info.Stats); err != nil {
+	ds := sp.Child("delta-compensation")
+	if err := m.deltaCompensate(q, snap, strat, out, &info.Stats, ds); err != nil {
 		return err
 	}
+	ds.AttrInt("delta-tuples", info.Stats.TuplesJoined-before)
+	ds.End()
+	dcTime := time.Since(dcStart)
+	m.obs.deltaCompLat.Observe(dcTime)
 	m.mu.Lock()
-	e.Metrics.DeltaCompTime += time.Since(dcStart)
+	e.Metrics.DeltaCompTime += dcTime
 	e.Metrics.DeltaRows += info.Stats.TuplesJoined - before
 	if info.CacheHit || info.Rebuilt {
 		e.Metrics.Hits++
@@ -278,16 +342,25 @@ func mainCombos(db *table.DB, q *query.Query) []query.Combo {
 }
 
 // runCombos evaluates a set of subjoins into out, applying the strategy's
-// pruning rules (empty-store skip, MD prefilter, predicate pushdown).
-func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, out *query.AggTable, st *query.Stats) error {
+// pruning rules (empty-store skip, MD prefilter, predicate pushdown). With
+// tracing enabled (non-nil sp) each subjoin gets a child span carrying its
+// verdict — pruned-empty, pruned-md, pruned-scan, or executed — and, when
+// predicate pushdown applied, the derived tid-range filters that justified
+// it.
+func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, out *query.AggTable, st *query.Stats, sp *obs.Span) error {
 	for _, combo := range combos {
 		st.Subjoins++
+		cs := sp.Child(combo.String())
 		if strat >= CachedEmptyDelta && comboHasEmptyStore(m.db, combo) {
 			st.PrunedEmpty++
+			cs.Attr("verdict", "pruned-empty")
+			cs.End()
 			continue
 		}
 		if strat >= CachedFullPruning && m.mds.ComboPruned(q, combo) {
 			st.PrunedMD++
+			cs.Attr("verdict", "pruned-md")
+			cs.End()
 			continue
 		}
 		var extra map[string]expr.Pred
@@ -295,11 +368,19 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 			if filters, ok := m.mds.PushdownFilters(q, combo); ok {
 				extra = filters
 				st.Pushdowns++
+				if cs != nil {
+					for _, name := range q.Tables {
+						if p, ok := filters[name]; ok {
+							cs.Attr("pushdown."+name, p.String())
+						}
+					}
+				}
 			}
 		}
-		if err := m.exec.ExecuteCombo(q, combo, snap, extra, out, st); err != nil {
+		if err := m.exec.ExecuteComboSpan(q, combo, snap, extra, nil, out, st, cs); err != nil {
 			return err
 		}
+		cs.End()
 	}
 	return nil
 }
@@ -315,26 +396,26 @@ func comboHasEmptyStore(db *table.DB, combo query.Combo) bool {
 
 // buildEntry computes a fresh entry over the all-main subjoins and captures
 // the visibility vectors of every main store involved.
-func (m *Manager) buildEntry(q *query.Query, key string, snap txn.Snapshot, strat Strategy, st *query.Stats) (*Entry, error) {
+func (m *Manager) buildEntry(q *query.Query, key string, snap txn.Snapshot, strat Strategy, st *query.Stats, sp *obs.Span) (*Entry, error) {
 	e := &Entry{
 		Key:     key,
 		Query:   q,
 		MainVis: make(map[query.StoreRef]*vec.BitSet),
 		MainInv: make(map[query.StoreRef]uint64),
 	}
-	if err := m.rebuildEntry(e, snap, strat, st); err != nil {
+	if err := m.rebuildEntry(e, snap, strat, st, sp); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
 // rebuildEntry (re)computes an entry's value on the main stores at snap.
-func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats) error {
+func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats, sp *obs.Span) error {
 	wasStale := e.Stale
 	begin := time.Now()
 	value := query.NewAggTable(e.Query.Aggs)
 	tuplesBefore := st.TuplesJoined
-	if err := m.runCombos(e.Query, mainCombos(m.db, e.Query), snap, strat, value, st); err != nil {
+	if err := m.runCombos(e.Query, mainCombos(m.db, e.Query), snap, strat, value, st, sp); err != nil {
 		return err
 	}
 	oldBytes := e.Metrics.SizeBytes
@@ -380,6 +461,7 @@ func (m *Manager) admit(e *Entry) bool {
 	m.entries[e.Key] = e
 	m.bytes += e.Metrics.SizeBytes
 	m.evictOverCapacity()
+	m.syncGauges()
 	_, still := m.entries[e.Key]
 	return still
 }
@@ -395,7 +477,9 @@ func (m *Manager) evictOverCapacity() {
 		delete(m.entries, victim.Key)
 		m.bytes -= victim.Metrics.SizeBytes
 		m.Evictions++
+		m.obs.evictions.Inc()
 	}
+	m.syncGauges()
 }
 
 // storeDiff describes the invalidations detected in one tracked main
@@ -458,6 +542,7 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 		m.bytes -= e.Metrics.SizeBytes
 		e.Metrics.SizeBytes = e.Value.MemBytes()
 		m.bytes += e.Metrics.SizeBytes
+		m.syncGauges()
 	} else {
 		e.Metrics.SizeBytes = e.Value.MemBytes()
 	}
@@ -468,12 +553,12 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 
 // deltaCompensate unions the subjoins that involve at least one delta store
 // into res (paper Sec. 2.3.2), applying the strategy's pruning.
-func (m *Manager) deltaCompensate(q *query.Query, snap txn.Snapshot, strat Strategy, res *query.AggTable, st *query.Stats) error {
+func (m *Manager) deltaCompensate(q *query.Query, snap txn.Snapshot, strat Strategy, res *query.AggTable, st *query.Stats, sp *obs.Span) error {
 	var combos []query.Combo
 	for _, c := range query.AllCombos(m.db, q) {
 		if !c.IsAllMain() {
 			combos = append(combos, c)
 		}
 	}
-	return m.runCombos(q, combos, snap, strat, res, st)
+	return m.runCombos(q, combos, snap, strat, res, st, sp)
 }

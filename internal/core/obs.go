@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"aggcache/internal/obs"
+	"aggcache/internal/query"
+)
+
+// managerObs holds the manager's metric handles, resolved once at
+// construction so the per-query updates are pure atomics (zero heap
+// allocations on the hot path). The names form the engine's public metric
+// namespace, served by /metrics and embedded in benchrunner -json output.
+type managerObs struct {
+	reg *obs.Registry
+
+	// Cache life cycle.
+	hits       *obs.Counter // cache.hits — queries answered from an entry
+	misses     *obs.Counter // cache.misses — queries that built an entry
+	admissions *obs.Counter // cache.admissions — entries admitted
+	evictions  *obs.Counter // cache.evictions — entries evicted by capacity
+	rebuilds   *obs.Counter // cache.rebuilds — stale entries recomputed
+	bypasses   *obs.Counter // cache.bypasses — old-snapshot fallbacks
+	entries    *obs.Gauge   // cache.entries — current entry count
+	bytes      *obs.Gauge   // cache.bytes — current cached-value footprint
+
+	// Compensation and subjoin execution.
+	mainCompRows *obs.Counter // comp.main_rows — rows removed by main compensation
+	subjoins     *obs.Counter // subjoins.considered
+	executed     *obs.Counter // subjoins.executed
+	prunedEmpty  *obs.Counter // subjoins.pruned_empty
+	prunedMD     *obs.Counter // subjoins.pruned_md
+	prunedScan   *obs.Counter // subjoins.pruned_scan
+	pushdowns    *obs.Counter // subjoins.pushdowns
+	rowsScanned  *obs.Counter // exec.rows_scanned
+	tuplesJoined *obs.Counter // exec.tuples_joined
+
+	// Merge-time incremental maintenance.
+	maintenances *obs.Counter // cache.maintenances — entries folded during merges
+
+	// Latency distributions.
+	queryLat     *obs.Histogram // latency.query — full Execute wall clock
+	deltaCompLat *obs.Histogram // latency.delta_comp — delta compensation only
+}
+
+func newManagerObs(reg *obs.Registry) *managerObs {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &managerObs{
+		reg:          reg,
+		hits:         reg.Counter("cache.hits"),
+		misses:       reg.Counter("cache.misses"),
+		admissions:   reg.Counter("cache.admissions"),
+		evictions:    reg.Counter("cache.evictions"),
+		rebuilds:     reg.Counter("cache.rebuilds"),
+		bypasses:     reg.Counter("cache.bypasses"),
+		entries:      reg.Gauge("cache.entries"),
+		bytes:        reg.Gauge("cache.bytes"),
+		mainCompRows: reg.Counter("comp.main_rows"),
+		subjoins:     reg.Counter("subjoins.considered"),
+		executed:     reg.Counter("subjoins.executed"),
+		prunedEmpty:  reg.Counter("subjoins.pruned_empty"),
+		prunedMD:     reg.Counter("subjoins.pruned_md"),
+		prunedScan:   reg.Counter("subjoins.pruned_scan"),
+		pushdowns:    reg.Counter("subjoins.pushdowns"),
+		rowsScanned:  reg.Counter("exec.rows_scanned"),
+		tuplesJoined: reg.Counter("exec.tuples_joined"),
+		maintenances: reg.Counter("cache.maintenances"),
+		queryLat:     reg.Histogram("latency.query"),
+		deltaCompLat: reg.Histogram("latency.delta_comp"),
+	}
+}
+
+// recordExec folds one execution's outcome into the registry: a handful of
+// atomic adds plus one histogram observation — no allocations.
+func (o *managerObs) recordExec(info *ExecInfo) {
+	switch {
+	case info.CacheHit:
+		o.hits.Inc()
+	case info.Bypassed:
+		o.bypasses.Inc()
+	case info.Rebuilt:
+		o.rebuilds.Inc()
+	case info.Strategy != Uncached:
+		o.misses.Inc()
+	}
+	if info.Admitted {
+		o.admissions.Inc()
+	}
+	o.mainCompRows.Add(int64(info.MainCompensated))
+	o.recordStats(&info.Stats)
+	o.queryLat.Observe(info.Total)
+}
+
+// recordStats folds a subjoin counter batch into the registry.
+func (o *managerObs) recordStats(st *query.Stats) {
+	o.subjoins.Add(int64(st.Subjoins))
+	o.executed.Add(int64(st.Executed))
+	o.prunedEmpty.Add(int64(st.PrunedEmpty))
+	o.prunedMD.Add(int64(st.PrunedMD))
+	o.prunedScan.Add(int64(st.PrunedScan))
+	o.pushdowns.Add(int64(st.Pushdowns))
+	o.rowsScanned.Add(st.RowsScanned)
+	o.tuplesJoined.Add(st.TuplesJoined)
+}
+
+// syncGauges publishes the cache footprint; callers hold m.mu.
+func (m *Manager) syncGauges() {
+	m.obs.entries.Set(int64(len(m.entries)))
+	m.obs.bytes.Set(int64(m.bytes))
+}
+
+// Metrics returns the registry this manager reports into.
+func (m *Manager) Metrics() *obs.Registry { return m.obs.reg }
+
+// EntrySnapshot is a copy of one cache entry's metrics, safe to read
+// without the manager lock — the /debug/cache and \cache introspection
+// payload.
+type EntrySnapshot struct {
+	Key          string    `json:"key"`
+	Stale        bool      `json:"stale"`
+	Hits         int64     `json:"hits"`
+	SizeBytes    uint64    `json:"size_bytes"`
+	MainRows     int64     `json:"main_rows"`
+	DeltaRows    int64     `json:"delta_rows"`
+	Rebuilds     int64     `json:"rebuilds"`
+	Maintenances int64     `json:"maintenances"`
+	DirtyCounter int64     `json:"dirty_counter"`
+	MainExecMS   float64   `json:"main_exec_ms"`
+	DeltaCompMS  float64   `json:"delta_comp_ms"`
+	Profit       float64   `json:"profit"`
+	LastAccess   time.Time `json:"last_access"`
+}
+
+// EntriesByProfit snapshots every cache entry's metrics under the manager
+// lock, sorted by descending profit (the eviction order, best kept first).
+func (m *Manager) EntriesByProfit() []EntrySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EntrySnapshot, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, EntrySnapshot{
+			Key:          e.Key,
+			Stale:        e.Stale,
+			Hits:         e.Metrics.Hits,
+			SizeBytes:    e.Metrics.SizeBytes,
+			MainRows:     e.Metrics.MainRows,
+			DeltaRows:    e.Metrics.DeltaRows,
+			Rebuilds:     e.Metrics.Rebuilds,
+			Maintenances: e.Metrics.Maintenances,
+			DirtyCounter: e.Metrics.DirtyCounter,
+			MainExecMS:   float64(e.Metrics.MainExecTime) / float64(time.Millisecond),
+			DeltaCompMS:  float64(e.Metrics.DeltaCompTime) / float64(time.Millisecond),
+			Profit:       e.Metrics.Profit(),
+			LastAccess:   e.Metrics.LastAccess,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Profit > out[j].Profit })
+	return out
+}
+
+// EntryMetrics returns a copy of the entry metrics for a query, taken under
+// the manager lock — the race-safe alternative to reading Entry.Metrics
+// through the pointer Entry() returns.
+func (m *Manager) EntryMetrics(q *query.Query) (Metrics, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[q.Fingerprint()]
+	if !ok {
+		return Metrics{}, false
+	}
+	return e.Metrics, true
+}

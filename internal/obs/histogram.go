@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations in
+// [2^(i-1), 2^i) microseconds, bucket 0 holds sub-microsecond observations,
+// and the last bucket is the overflow (≥ ~34 seconds). Fixed power-of-two
+// buckets keep Observe branch-free and allocation-free.
+const histBuckets = 26
+
+// Histogram is a fixed-bucket latency histogram over exponentially growing
+// microsecond buckets. The zero value is ready to use; a nil *Histogram
+// discards observations.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a microsecond value to its bucket index.
+func bucketOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := int64(d / time.Microsecond)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// reset zeroes the histogram; callers hold the registry lock.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sumUS.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, shaped for
+// JSON: counts per bucket plus derived summary statistics in microseconds.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumUS int64 `json:"sum_us"`
+	// MeanUS is SumUS/Count (0 when empty).
+	MeanUS float64 `json:"mean_us"`
+	// P50US/P99US are bucket-upper-bound quantile estimates.
+	P50US int64 `json:"p50_us"`
+	P99US int64 `json:"p99_us"`
+	// Buckets maps each bucket's upper bound in microseconds to its count;
+	// empty buckets are omitted.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty bucket: observations below UpperUS
+// microseconds (and at or above the previous bucket's bound).
+type HistogramBucket struct {
+	UpperUS int64 `json:"le_us"`
+	Count   int64 `json:"count"`
+}
+
+// bucketUpper returns bucket i's exclusive upper bound in microseconds.
+func bucketUpper(i int) int64 { return int64(1) << i }
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), SumUS: h.sumUS.Load()}
+	if s.Count > 0 {
+		s.MeanUS = float64(s.SumUS) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperUS: bucketUpper(i), Count: n})
+		}
+	}
+	s.P50US = s.quantile(0.50)
+	s.P99US = s.quantile(0.99)
+	return s
+}
+
+// quantile estimates the q-quantile as the upper bound of the bucket the
+// rank falls into — a conservative estimate accurate to a factor of two.
+func (s *HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			return b.UpperUS
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperUS
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// DebugMux builds the debug HTTP surface:
+//
+//	/metrics      JSON snapshot of the registry
+//	/debug/cache  JSON dump produced by cacheDump (entry metrics by profit)
+//
+// cacheDump may be nil, in which case /debug/cache reports an empty list.
+// The mux is plain net/http so the binaries start it with one goroutine and
+// no dependencies.
+func DebugMux(reg *Registry, cacheDump func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
+		if cacheDump == nil {
+			writeJSON(w, []any{})
+			return
+		}
+		writeJSON(w, cacheDump())
+	})
+	return mux
+}
+
+// ServeDebug listens on addr and serves the debug mux in a background
+// goroutine. It returns the bound address (useful with a ":0" addr) or an
+// error if the listener cannot be opened.
+func ServeDebug(addr string, reg *Registry, cacheDump func() any) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugMux(reg, cacheDump)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

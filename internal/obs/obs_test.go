@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("queries") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+	g := r.Gauge("bytes")
+	g.Set(100)
+	g.Add(-30)
+	if got := g.Value(); got != 70 {
+		t.Fatalf("gauge = %d, want 70", got)
+	}
+
+	// Nil handles discard updates instead of panicking.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(3)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var ng *Gauge
+	ng.Set(9)
+	if ng.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var nh *Histogram
+	nh.Observe(time.Second)
+	if nh.Count() != 0 || nh.Snapshot().Count != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+}
+
+// TestRegistryConcurrency hammers handle resolution and updates from many
+// goroutines; run under -race it audits the registry's synchronization.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat")
+			own := r.Counter(fmt.Sprintf("own-%d", g%4))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				own.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("lat").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var ownTotal int64
+	for i := 0; i < 4; i++ {
+		ownTotal += r.Counter(fmt.Sprintf("own-%d", i)).Value()
+	}
+	if ownTotal != goroutines*perG {
+		t.Fatalf("own counters sum = %d, want %d", ownTotal, goroutines*perG)
+	}
+}
+
+// TestCounterHotPathAllocs is the acceptance-criteria guard: with handles
+// resolved up front, the metric updates a query performs (counter adds, a
+// gauge set, a histogram observation) must not allocate.
+func TestCounterHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("bytes")
+	h := r.Histogram("lat")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(42)
+		h.Observe(137 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestDisabledSpanAllocs checks the disabled tracer costs nothing: child
+// creation and attributes on a nil span must not allocate.
+func TestDisabledSpanAllocs(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("combo")
+		c.Attr("verdict", "executed")
+		c.AttrInt("tuples", 10)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~100us, 10 at ~10ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	if s.Count != 111 {
+		t.Fatalf("count = %d, want 111", s.Count)
+	}
+	wantSum := int64(100*100 + 10*10000 + 1000000)
+	if s.SumUS != wantSum {
+		t.Fatalf("sum = %dus, want %dus", s.SumUS, wantSum)
+	}
+	// P50 falls in the 100us bucket (upper bound 128us), P99 in the 10ms
+	// bucket (upper bound 16384us).
+	if s.P50US != 128 {
+		t.Fatalf("p50 = %dus, want 128us", s.P50US)
+	}
+	if s.P99US != 16384 {
+		t.Fatalf("p99 = %dus, want 16384us", s.P99US)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestRegistryResetAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(7)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a"] != 7 || s.Gauges["g"] != 3 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset did not zero the counter through the old handle")
+	}
+	s = r.Snapshot()
+	if s.Counters["a"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("execute")
+	lookup := root.Child("lookup")
+	lookup.Attr("verdict", "hit")
+	lookup.End()
+	dc := root.Child("delta-compensation")
+	combo := dc.Child("Header[0].main x Item[0].delta")
+	combo.Attr("verdict", "executed")
+	combo.AttrInt("tuples", 42)
+	combo.End()
+	dc.End()
+	root.End()
+
+	if v, ok := lookup.GetAttr("verdict"); !ok || v != "hit" {
+		t.Fatalf("lookup verdict = %q, %v", v, ok)
+	}
+	var names []string
+	root.Walk(func(s *Span) { names = append(names, s.Name) })
+	if len(names) != 4 || names[0] != "execute" || names[3] != "Header[0].main x Item[0].delta" {
+		t.Fatalf("walk order = %v", names)
+	}
+
+	var sb strings.Builder
+	root.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"execute", "├─ lookup", "└─ delta-compensation", "verdict=hit", "tuples=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Spans marshal to JSON for machine consumption.
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"name":"execute"`) {
+		t.Fatalf("json = %s", b)
+	}
+}
+
+func TestDebugEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(5)
+	dump := func() any {
+		return []map[string]any{{"key": "q1", "profit": 1.5}}
+	}
+	addr, err := ServeDebug("127.0.0.1:0", r, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+	if got := get("/metrics"); !strings.Contains(got, `"cache.hits": 5`) {
+		t.Fatalf("/metrics = %s", got)
+	}
+	if got := get("/debug/cache"); !strings.Contains(got, `"key": "q1"`) {
+		t.Fatalf("/debug/cache = %s", got)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Span is one node of a query trace: a named region with key/value
+// attributes, a duration, and child spans. A nil *Span is the disabled
+// tracer — every method is a no-op on a nil receiver, so instrumented code
+// passes spans down unconditionally and pays nothing when tracing is off.
+//
+// Spans are built by a single goroutine (one query execution); they are not
+// safe for concurrent mutation.
+type Span struct {
+	Name     string        `json:"name"`
+	Dur      time.Duration `json:"dur_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// StartSpan starts a root span — the enabled tracer.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child starts a nested span. On a nil receiver it returns nil, keeping the
+// whole subtree disabled.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End fixes the span's duration; later Ends are ignored.
+func (s *Span) End() {
+	if s == nil || s.Dur != 0 {
+		return
+	}
+	s.Dur = time.Since(s.start)
+}
+
+// Attr records a string attribute.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// AttrInt records an integer attribute.
+func (s *Span) AttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// GetAttr returns the value of the named attribute, if set.
+func (s *Span) GetAttr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Walk visits the span and every descendant, depth-first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Render writes the span tree as an indented text outline — the EXPLAIN
+// ANALYZE output format:
+//
+//	execute T[Header,Item]...                        1.204ms
+//	├─ lookup                                        [verdict=hit]
+//	└─ delta-compensation                            0.981ms
+//	   ├─ Header[0].main x Item[0].delta ...         [verdict=executed tuples=812]
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.render(w, "", "", "")
+}
+
+func (s *Span) render(w io.Writer, branch, childPrefix, _ string) {
+	line := branch + s.Name
+	if s.Dur > 0 {
+		line += "  " + formatDur(s.Dur)
+	}
+	if len(s.Attrs) > 0 {
+		parts := make([]string, len(s.Attrs))
+		for i, a := range s.Attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		line += "  [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Fprintln(w, line)
+	for i, c := range s.Children {
+		if i == len(s.Children)-1 {
+			c.render(w, childPrefix+"└─ ", childPrefix+"   ", "")
+		} else {
+			c.render(w, childPrefix+"├─ ", childPrefix+"│  ", "")
+		}
+	}
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
+	}
+}

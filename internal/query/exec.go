@@ -5,6 +5,7 @@ import (
 
 	"aggcache/internal/column"
 	"aggcache/internal/expr"
+	"aggcache/internal/obs"
 	"aggcache/internal/table"
 	"aggcache/internal/txn"
 	"aggcache/internal/vec"
@@ -111,7 +112,7 @@ type Executor struct {
 // holds additional per-table local filters (the pushed-down tid ranges);
 // they are conjoined with the query's own filters.
 func (e *Executor) ExecuteCombo(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, out *AggTable, st *Stats) error {
-	return e.ExecuteComboRestricted(q, combo, snap, extra, nil, out, st)
+	return e.ExecuteComboSpan(q, combo, snap, extra, nil, out, st, nil)
 }
 
 // ExecuteComboRestricted is ExecuteCombo with optional explicit row sets:
@@ -120,6 +121,19 @@ func (e *Executor) ExecuteCombo(q *Query, combo Combo, snap txn.Snapshot, extra 
 // still apply). The negative-delta main compensation of the aggregate cache
 // uses this to join invalidated-row sets against visibility snapshots.
 func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats) error {
+	return e.ExecuteComboSpan(q, combo, snap, extra, restrict, out, st, nil)
+}
+
+// ExecuteComboSpan is the instrumented ExecuteComboRestricted: when sp is
+// non-nil it records the subjoin's execution as span attributes and child
+// spans — the per-store scan sizes, the prune verdict, and the join result
+// size. A nil sp (the common case) costs nothing.
+//
+// The span verdict is one of:
+//
+//	pruned-scan  the store's dictionary ranges proved a filter unsatisfiable
+//	executed     the subjoin ran (possibly contributing zero tuples)
+func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span) error {
 	if len(combo) != len(q.Tables) {
 		return fmt.Errorf("query: combo has %d stores for %d tables", len(combo), len(q.Tables))
 	}
@@ -140,6 +154,10 @@ func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapsh
 		// without scanning a row (paper Example 1).
 		if dictionaryPrunes(pred, stores[i], tbl.Schema()) {
 			st.PrunedScan++
+			if sp != nil {
+				sp.Attr("verdict", "pruned-scan")
+				sp.Attr("pruned-by", ref.String()+" dictionary vs "+pred.String())
+			}
 			return nil
 		}
 		var set *vec.BitSet
@@ -151,7 +169,14 @@ func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapsh
 			return err
 		}
 		st.RowsScanned += scanned
+		if sp != nil {
+			ss := sp.Child("scan " + ref.String())
+			ss.AttrInt("scanned", scanned)
+			ss.AttrInt("matched", int64(len(rows)))
+			ss.End()
+		}
 		if len(rows) == 0 {
+			sp.Attr("verdict", "executed")
 			return nil // empty input: subjoin contributes nothing
 		}
 		rowsPer[i] = rows
@@ -178,11 +203,19 @@ func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapsh
 		}
 		tupleCols = hashJoin(tupleCols, lp, leftCol, rowsPer[rp], rightCol)
 		if len(tupleCols[0]) == 0 {
+			if sp != nil {
+				sp.Attr("verdict", "executed")
+				sp.Attr("empty-after-join", edge.String())
+			}
 			return nil
 		}
 	}
 	n := len(tupleCols[0])
 	st.TuplesJoined += int64(n)
+	if sp != nil {
+		sp.Attr("verdict", "executed")
+		sp.AttrInt("tuples", int64(n))
+	}
 
 	// Aggregation phase.
 	keyCols := make([]column.Reader, len(q.GroupBy))
@@ -435,13 +468,21 @@ func AllCombos(db *table.DB, q *Query) []Combo {
 // ExecuteAll evaluates the query over all subjoin combinations — query
 // processing without the aggregate cache (paper Sec. 2.3.1).
 func (e *Executor) ExecuteAll(q *Query, snap txn.Snapshot) (*AggTable, Stats, error) {
+	return e.ExecuteAllSpan(q, snap, nil)
+}
+
+// ExecuteAllSpan is ExecuteAll recording one child span per subjoin under
+// sp when tracing is enabled (nil sp disables tracing).
+func (e *Executor) ExecuteAllSpan(q *Query, snap txn.Snapshot, sp *obs.Span) (*AggTable, Stats, error) {
 	out := NewAggTable(q.Aggs)
 	var st Stats
 	for _, combo := range AllCombos(e.DB, q) {
 		st.Subjoins++
-		if err := e.ExecuteCombo(q, combo, snap, nil, out, &st); err != nil {
+		cs := sp.Child(combo.String())
+		if err := e.ExecuteComboSpan(q, combo, snap, nil, nil, out, &st, cs); err != nil {
 			return nil, st, err
 		}
+		cs.End()
 	}
 	return out, st, nil
 }

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddCoversEveryField fails when a field is added to Stats but
+// forgotten in Add: it fills every field with a distinct non-zero value via
+// reflection, folds the record into a zero Stats twice, and requires every
+// field of the sum to be exactly doubled.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	var in Stats
+	v := reflect.ValueOf(&in).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(i + 1))
+		default:
+			t.Fatalf("Stats.%s has kind %v; teach this test (and check Add) about it",
+				typ.Field(i).Name, f.Kind())
+		}
+	}
+
+	var sum Stats
+	sum.Add(in)
+	sum.Add(in)
+
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		got := sv.Field(i).Int()
+		want := 2 * int64(i+1)
+		if got != want {
+			t.Errorf("Stats.Add drops field %s: got %d, want %d — update Add",
+				typ.Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsAddZero checks Add with a zero operand is the identity.
+func TestStatsAddZero(t *testing.T) {
+	in := Stats{Subjoins: 3, Executed: 2, PrunedMD: 1, RowsScanned: 99, TuplesJoined: 7}
+	out := in
+	out.Add(Stats{})
+	if out != in {
+		t.Fatalf("Add(zero) changed the record: %+v != %+v", out, in)
+	}
+}

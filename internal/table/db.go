@@ -3,7 +3,9 @@ package table
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"aggcache/internal/obs"
 	"aggcache/internal/txn"
 )
 
@@ -27,12 +29,42 @@ type DB struct {
 	tables map[string]*Table
 	order  []string
 	hooks  []MergeHook
+	mobs   mergeObs
 }
 
-// Open returns an empty database.
-func Open() *DB {
-	return &DB{txns: txn.NewManager(), tables: make(map[string]*Table)}
+// mergeObs holds the storage layer's merge metric handles, resolved once at
+// Open (or SetMetrics) so merges update them with plain atomics.
+type mergeObs struct {
+	merges    *obs.Counter   // table.merges — delta merges completed
+	fromMain  *obs.Counter   // table.merge_rows_from_main
+	fromDelta *obs.Counter   // table.merge_rows_from_delta
+	dropped   *obs.Counter   // table.merge_rows_dropped
+	latency   *obs.Histogram // latency.merge — per-partition merge wall clock
 }
+
+func newMergeObs(reg *obs.Registry) mergeObs {
+	return mergeObs{
+		merges:    reg.Counter("table.merges"),
+		fromMain:  reg.Counter("table.merge_rows_from_main"),
+		fromDelta: reg.Counter("table.merge_rows_from_delta"),
+		dropped:   reg.Counter("table.merge_rows_dropped"),
+		latency:   reg.Histogram("latency.merge"),
+	}
+}
+
+// Open returns an empty database reporting into the default observability
+// registry.
+func Open() *DB {
+	return &DB{
+		txns:   txn.NewManager(),
+		tables: make(map[string]*Table),
+		mobs:   newMergeObs(obs.Default()),
+	}
+}
+
+// SetMetrics redirects the database's storage-layer metrics (merge counters
+// and latency) into reg. Call before concurrent use.
+func (db *DB) SetMetrics(reg *obs.Registry) { db.mobs = newMergeObs(reg) }
 
 // Txns returns the transaction manager.
 func (db *DB) Txns() *txn.Manager { return db.txns }
@@ -108,6 +140,7 @@ func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (Mer
 		return MergeStats{}, fmt.Errorf("table %s does not exist", tableName)
 	}
 	snap := db.txns.ReadSnapshot()
+	begin := time.Now()
 	for _, h := range db.hooks {
 		h.BeforeMerge(db, t, part, snap)
 	}
@@ -118,6 +151,11 @@ func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (Mer
 	for _, h := range db.hooks {
 		h.AfterMerge(db, t, part)
 	}
+	db.mobs.merges.Inc()
+	db.mobs.fromMain.Add(int64(stats.FromMain))
+	db.mobs.fromDelta.Add(int64(stats.FromDelta))
+	db.mobs.dropped.Add(int64(stats.Dropped))
+	db.mobs.latency.Observe(time.Since(begin))
 	return stats, nil
 }
 
