@@ -63,9 +63,27 @@ func main() {
 	var (
 		dataset   = flag.String("dataset", "erp", "erp or ch")
 		stmt      = flag.String("c", "", "execute one statement and exit")
-		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache) on this address")
+		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache, /debug/series, /debug/pprof) on this address")
+		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
+		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 	)
 	flag.Parse()
+
+	// Install the event log before loading the dataset, so the database and
+	// the cache manager pick it up through obs.Events().
+	if *events != "" {
+		w := os.Stderr
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aggsql: events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		obs.SetDefaultEvents(obs.NewEventLog(w))
+	}
 
 	sh, err := load(*dataset)
 	if err != nil {
@@ -74,14 +92,17 @@ func main() {
 	}
 
 	if *debugAddr != "" {
+		sampler := obs.NewSampler(sh.mgr.Metrics(), obs.SamplerConfig{Interval: *sample})
+		sampler.Start()
+		defer sampler.Stop()
 		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), func() any {
 			return sh.mgr.EntriesByProfit()
-		})
+		}, sampler)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics and /debug/cache\n", addr)
+		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series\n", addr)
 	}
 
 	if *stmt != "" {
@@ -319,14 +340,16 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 				e.Profit, e.Hits, e.SizeBytes, e.DirtyCounter, e.Rebuilds, e.Maintenances, staleMark, e.Key)
 		}
 	case "\\stats":
+		// Sorted-name iteration keeps the dump deterministic for goldens
+		// and diffs.
 		snap := sh.mgr.Metrics().Snapshot()
-		for _, name := range obs.Names(snap.Counters) {
+		for _, name := range snap.CounterNames() {
 			fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
 		}
-		for _, name := range obs.Names(snap.Gauges) {
+		for _, name := range snap.GaugeNames() {
 			fmt.Printf("  %-28s %d\n", name, snap.Gauges[name])
 		}
-		for _, name := range obs.Names(snap.Histograms) {
+		for _, name := range snap.HistogramNames() {
 			h := snap.Histograms[name]
 			fmt.Printf("  %-28s count=%d mean=%.0fus p50=%dus p99=%dus\n",
 				name, h.Count, h.MeanUS, h.P50US, h.P99US)

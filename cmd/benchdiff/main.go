@@ -1,0 +1,72 @@
+// Command benchdiff compares two BENCH_<exp>.json files produced by
+// benchrunner -json and exits non-zero when the candidate run regresses the
+// baseline's latency series beyond a threshold — the perf-regression gate
+// CI runs against the committed baseline.
+//
+// Usage:
+//
+//	benchdiff [flags] baseline.json candidate.json
+//
+//	-threshold 0.10   relative slowdown flagged as a regression (10%)
+//	-hard-fail 2.0    slowdown factor that always fails, even with -warn-only
+//	                  (0 disables the hard tier)
+//	-warn-only        report soft regressions but exit 0 (noisy CI runners);
+//	                  hard regressions still fail
+//
+// Exit codes: 0 no regression (or warn-only), 1 regression, 2 usage or
+// input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aggcache/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests drive the full CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 0.10, "relative latency increase flagged as a regression")
+		hardFail  = fs.Float64("hard-fail", 2.0, "latency factor that fails even with -warn-only (0 disables)")
+		warnOnly  = fs.Bool("warn-only", false, "report soft regressions without failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json candidate.json")
+		return 2
+	}
+	base, err := bench.LoadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	cand, err := bench.LoadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: candidate: %v\n", err)
+		return 2
+	}
+	d := bench.DiffReports(base, cand, bench.DiffOptions{Threshold: *threshold, HardFactor: *hardFail})
+	d.Render(stdout)
+	switch {
+	case len(d.HardRegressions()) > 0:
+		fmt.Fprintln(stderr, "benchdiff: FAIL: hard regression")
+		return 1
+	case len(d.Regressions()) > 0 && !*warnOnly:
+		fmt.Fprintln(stderr, "benchdiff: FAIL: latency regression beyond threshold")
+		return 1
+	case len(d.Regressions()) > 0:
+		fmt.Fprintln(stderr, "benchdiff: WARN: latency regression beyond threshold (warn-only)")
+	}
+	return 0
+}

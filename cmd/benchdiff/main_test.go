@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testdata = filepath.Join("..", "..", "internal", "bench", "testdata")
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestIdenticalInputsExitZero is the acceptance-criteria case: comparing a
+// report against itself exits 0.
+func TestIdenticalInputsExitZero(t *testing.T) {
+	base := filepath.Join(testdata, "diff_base.json")
+	code, out, _ := runCLI(t, base, base)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 regression(s)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestInjectedRegressionExitsNonZero is the acceptance-criteria case: a 2x
+// latency regression on a golden input must exit non-zero.
+func TestInjectedRegressionExitsNonZero(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		filepath.Join(testdata, "diff_base.json"),
+		filepath.Join(testdata, "diff_regressed.json"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "regression") || !strings.Contains(errOut, "FAIL") {
+		t.Fatalf("output:\n%s%s", out, errOut)
+	}
+}
+
+// TestWarnOnlyDemotesSoftRegressions: -warn-only turns the 2x soft
+// regression into exit 0, but a hard regression (beyond -hard-fail) still
+// fails.
+func TestWarnOnlyDemotesSoftRegressions(t *testing.T) {
+	base := filepath.Join(testdata, "diff_base.json")
+	regressed := filepath.Join(testdata, "diff_regressed.json")
+	code, _, errOut := runCLI(t, "-warn-only", base, regressed)
+	if code != 0 {
+		t.Fatalf("warn-only exit = %d, want 0; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "WARN") {
+		t.Fatalf("stderr:\n%s", errOut)
+	}
+	// Tighten the hard tier below the injected 2.0x: now it must fail even
+	// with -warn-only.
+	code, _, errOut = runCLI(t, "-warn-only", "-hard-fail", "1.5", base, regressed)
+	if code != 1 || !strings.Contains(errOut, "hard regression") {
+		t.Fatalf("hard-fail exit = %d, stderr:\n%s", code, errOut)
+	}
+}
+
+func TestUsageAndInputErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "nonexistent.json", "alsomissing.json"); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+}

@@ -10,7 +10,9 @@
 //	benchrunner -exp fig7            # one experiment, full scale
 //	benchrunner -exp all -quick      # every experiment, scaled down
 //	benchrunner -exp fig7 -json      # also write BENCH_fig7.json
-//	benchrunner -debug :8080 ...     # serve /metrics while running
+//	benchrunner -debug :8080 ...     # serve /metrics, /debug/series, pprof
+//	benchrunner -sample 250ms ...    # time-series scrape interval
+//	benchrunner -events events.log   # structured event log ("-" = stderr)
 //	benchrunner -list                # list experiment IDs
 package main
 
@@ -30,7 +32,9 @@ func main() {
 		normalize = flag.Bool("normalize", false, "additionally print normalized execution times (as the paper plots)")
 		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json per experiment (series + metrics snapshot)")
 		outDir    = flag.String("out", ".", "directory for -json output files")
-		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics) on this address while running")
+		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/series, /debug/pprof) on this address while running")
+		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
+		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -42,13 +46,32 @@ func main() {
 		return
 	}
 
+	// Install the event log before any experiment builds a database, so
+	// every layer picks it up through obs.Events().
+	if *events != "" {
+		w := os.Stderr
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		obs.SetDefaultEvents(obs.NewEventLog(w))
+	}
+
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
+		sampler := obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
+		sampler.Start()
+		defer sampler.Stop()
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics\n", addr)
+		fmt.Printf("debug endpoint on http://%s/metrics (also /debug/series, /debug/pprof)\n", addr)
 	}
 
 	var todo []bench.Experiment

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -52,19 +54,71 @@ type Result struct {
 // plus the observability-registry snapshot taken after the run, so every
 // result file records not only how fast the run was but what the engine
 // did (subjoins pruned, cache hits, rows scanned). Written as
-// BENCH_<id>.json, it is the perf trajectory consumed by later PRs.
+// BENCH_<id>.json, it is the perf trajectory consumed by later PRs and
+// the input format of cmd/benchdiff.
 type Report struct {
 	Result *Result `json:"result"`
 	// Quick marks scaled-down smoke configurations; quick numbers are not
 	// comparable with full runs.
 	Quick bool `json:"quick"`
+	// Meta labels the run so benchdiff can say what it compares.
+	Meta RunMeta `json:"meta"`
 	// Metrics is the registry snapshot after the experiment.
 	Metrics obs.Snapshot `json:"metrics"`
 }
 
-// Report pairs the result with a metrics snapshot.
+// RunMeta identifies one bench run: the code version, when and where it
+// ran. benchdiff prints both sides' metadata so a regression report names
+// the exact commits compared.
+type RunMeta struct {
+	// GitSHA is the commit the run was built from ("unknown" outside a git
+	// checkout).
+	GitSHA string `json:"git_sha"`
+	// Timestamp is the run's start time, UTC RFC 3339.
+	Timestamp string `json:"timestamp"`
+	// GoVersion is runtime.Version().
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler parallelism of the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Host is the machine hostname plus GOOS/GOARCH.
+	Host string `json:"host"`
+}
+
+// CollectMeta stamps the current process and checkout.
+func CollectMeta() RunMeta {
+	sha := "unknown"
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		sha = strings.TrimSpace(string(out))
+	}
+	host, _ := os.Hostname()
+	return RunMeta{
+		GitSHA:     sha,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       fmt.Sprintf("%s (%s/%s)", host, runtime.GOOS, runtime.GOARCH),
+	}
+}
+
+// Report pairs the result with a metrics snapshot and stamps run metadata.
 func (r *Result) Report(quick bool, snap obs.Snapshot) *Report {
-	return &Report{Result: r, Quick: quick, Metrics: snap}
+	return &Report{Result: r, Quick: quick, Meta: CollectMeta(), Metrics: snap}
+}
+
+// LoadReport reads a BENCH_<exp>.json file.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Result == nil {
+		return nil, fmt.Errorf("%s: no result section", path)
+	}
+	return &rep, nil
 }
 
 // WriteFile writes the report as indented JSON to path.

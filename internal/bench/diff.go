@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffOptions tunes the regression comparison.
+type DiffOptions struct {
+	// Threshold is the relative latency increase flagged as a regression:
+	// 0.10 flags any point where candidate > baseline * 1.10.
+	Threshold float64
+	// HardFactor, when > 0, marks a regression "hard" once the candidate
+	// exceeds baseline * HardFactor — the never-acceptable tier CI fails on
+	// even in warn-only mode (e.g. 2.0 for "more than twice as slow").
+	HardFactor float64
+}
+
+// DefaultDiffOptions is the 10%-regression gate with a 2x hard ceiling.
+func DefaultDiffOptions() DiffOptions { return DiffOptions{Threshold: 0.10, HardFactor: 2.0} }
+
+// PointDelta compares one measurement present in both reports.
+type PointDelta struct {
+	// Series is the series label (execution strategy / configuration).
+	Series string `json:"series"`
+	// X is the sweep value the measurement was taken at.
+	X float64 `json:"x"`
+	// Base and New are the baseline and candidate latencies (ms).
+	Base float64 `json:"base_ms"`
+	New  float64 `json:"new_ms"`
+	// Ratio is New/Base (1.0 = unchanged; >1 = slower).
+	Ratio float64 `json:"ratio"`
+	// Regressed marks points beyond the soft threshold; Hard marks points
+	// beyond the hard factor.
+	Regressed bool `json:"regressed"`
+	Hard      bool `json:"hard"`
+}
+
+// Diff is the comparison of two bench reports.
+type Diff struct {
+	// Base and New are the compared runs' metadata.
+	Base, New RunMeta
+	// Deltas lists every matched point, ordered by series then X.
+	Deltas []PointDelta
+	// Warnings flags structural mismatches (missing series or points,
+	// quick-vs-full comparison) that make the numbers suspect.
+	Warnings []string
+	opts     DiffOptions
+}
+
+// Regressions returns the deltas beyond the soft threshold.
+func (d *Diff) Regressions() []PointDelta {
+	var out []PointDelta
+	for _, pd := range d.Deltas {
+		if pd.Regressed {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// HardRegressions returns the deltas beyond the hard factor.
+func (d *Diff) HardRegressions() []PointDelta {
+	var out []PointDelta
+	for _, pd := range d.Deltas {
+		if pd.Hard {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// DiffReports compares a candidate run against a baseline, point by point:
+// series are matched by label, points by X value. Every series in these
+// reports is a latency series (milliseconds per query), so an increased Y
+// is a slowdown.
+func DiffReports(base, cand *Report, opts DiffOptions) *Diff {
+	d := &Diff{Base: base.Meta, New: cand.Meta, opts: opts}
+	if base.Quick != cand.Quick {
+		d.Warnings = append(d.Warnings,
+			fmt.Sprintf("quick-mode mismatch: baseline quick=%v, candidate quick=%v — numbers are not comparable",
+				base.Quick, cand.Quick))
+	}
+	if base.Result.ID != cand.Result.ID {
+		d.Warnings = append(d.Warnings,
+			fmt.Sprintf("experiment mismatch: baseline %q, candidate %q", base.Result.ID, cand.Result.ID))
+	}
+	candSeries := make(map[string]Series, len(cand.Result.Series))
+	for _, s := range cand.Result.Series {
+		candSeries[s.Label] = s
+	}
+	baseLabels := make(map[string]bool, len(base.Result.Series))
+	for _, bs := range base.Result.Series {
+		baseLabels[bs.Label] = true
+		cs, ok := candSeries[bs.Label]
+		if !ok {
+			d.Warnings = append(d.Warnings, fmt.Sprintf("series %q missing from candidate", bs.Label))
+			continue
+		}
+		candPoints := make(map[float64]float64, len(cs.Points))
+		for _, p := range cs.Points {
+			candPoints[p.X] = p.Y
+		}
+		for _, p := range bs.Points {
+			ny, ok := candPoints[p.X]
+			if !ok {
+				d.Warnings = append(d.Warnings,
+					fmt.Sprintf("series %q: point x=%g missing from candidate", bs.Label, p.X))
+				continue
+			}
+			pd := PointDelta{Series: bs.Label, X: p.X, Base: p.Y, New: ny}
+			if p.Y > 0 {
+				pd.Ratio = ny / p.Y
+			} else {
+				pd.Ratio = 1 // zero baseline: no meaningful ratio, never a regression
+			}
+			pd.Regressed = pd.Ratio > 1+opts.Threshold
+			pd.Hard = opts.HardFactor > 0 && pd.Ratio > opts.HardFactor
+			d.Deltas = append(d.Deltas, pd)
+		}
+	}
+	for _, cs := range cand.Result.Series {
+		if !baseLabels[cs.Label] {
+			d.Warnings = append(d.Warnings, fmt.Sprintf("series %q missing from baseline", cs.Label))
+		}
+	}
+	sort.SliceStable(d.Deltas, func(i, j int) bool {
+		if d.Deltas[i].Series != d.Deltas[j].Series {
+			return d.Deltas[i].Series < d.Deltas[j].Series
+		}
+		return d.Deltas[i].X < d.Deltas[j].X
+	})
+	return d
+}
+
+// Render writes the diff as an aligned table — one row per matched point
+// with the latency ratio and its verdict — followed by the warnings.
+func (d *Diff) Render(w io.Writer) {
+	fmt.Fprintf(w, "baseline:  %s @ %s (%s, GOMAXPROCS=%d)\n",
+		d.Base.GitSHA, d.Base.Timestamp, d.Base.GoVersion, d.Base.GOMAXPROCS)
+	fmt.Fprintf(w, "candidate: %s @ %s (%s, GOMAXPROCS=%d)\n",
+		d.New.GitSHA, d.New.Timestamp, d.New.GoVersion, d.New.GOMAXPROCS)
+	rows := make([][]string, 0, len(d.Deltas)+1)
+	rows = append(rows, []string{"series", "x", "base ms", "new ms", "ratio", "verdict"})
+	for _, pd := range d.Deltas {
+		verdict := "ok"
+		switch {
+		case pd.Hard:
+			verdict = fmt.Sprintf("HARD REGRESSION (> %.2fx)", d.opts.HardFactor)
+		case pd.Regressed:
+			verdict = fmt.Sprintf("regression (> +%.0f%%)", d.opts.Threshold*100)
+		case pd.Ratio < 1-d.opts.Threshold:
+			verdict = "improved"
+		}
+		rows = append(rows, []string{
+			pd.Series, fmt.Sprintf("%g", pd.X),
+			fmt.Sprintf("%.3f", pd.Base), fmt.Sprintf("%.3f", pd.New),
+			fmt.Sprintf("%.2fx", pd.Ratio), verdict,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, warn := range d.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	soft, hard := len(d.Regressions()), len(d.HardRegressions())
+	fmt.Fprintf(w, "%d point(s) compared, %d regression(s), %d hard\n", len(d.Deltas), soft, hard)
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aggcache/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func loadTestReport(t *testing.T, name string) *Report {
+	t.Helper()
+	rep, err := LoadReport(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDiffIdenticalReportsClean: a report diffed against itself has no
+// regressions — the benchdiff exit-zero case.
+func TestDiffIdenticalReportsClean(t *testing.T) {
+	base := loadTestReport(t, "diff_base.json")
+	d := DiffReports(base, base, DefaultDiffOptions())
+	if len(d.Deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(d.Deltas))
+	}
+	if len(d.Regressions()) != 0 || len(d.HardRegressions()) != 0 {
+		t.Fatalf("identical reports flagged regressions: %+v", d.Regressions())
+	}
+	if len(d.Warnings) != 0 {
+		t.Fatalf("identical reports produced warnings: %v", d.Warnings)
+	}
+	for _, pd := range d.Deltas {
+		if pd.Ratio != 1.0 {
+			t.Fatalf("self-diff ratio = %v", pd)
+		}
+	}
+}
+
+// TestDiffInjectedRegression: the candidate with a 2x slowdown on one point
+// must be flagged beyond the 10% threshold — the benchdiff exit-one case.
+func TestDiffInjectedRegression(t *testing.T) {
+	base := loadTestReport(t, "diff_base.json")
+	cand := loadTestReport(t, "diff_regressed.json")
+	d := DiffReports(base, cand, DefaultDiffOptions())
+	regs := d.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want exactly the injected one: %+v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Series != "cached-full-pruning" || r.X != 3000 || r.Ratio != 2.0 {
+		t.Fatalf("regression = %+v", r)
+	}
+	// Exactly 2.0x is soft under HardFactor 2.0 (strictly greater fails
+	// hard); a 2.5x point must be hard.
+	if len(d.HardRegressions()) != 0 {
+		t.Fatalf("2.0x flagged as hard: %+v", d.HardRegressions())
+	}
+	cand.Result.Series[1].Points[1].Y = 1.5 * 2.5
+	d = DiffReports(base, cand, DefaultDiffOptions())
+	if len(d.HardRegressions()) != 1 {
+		t.Fatalf("2.5x not flagged hard: %+v", d.Deltas)
+	}
+}
+
+func TestDiffStructuralWarnings(t *testing.T) {
+	base := loadTestReport(t, "diff_base.json")
+	cand := loadTestReport(t, "diff_regressed.json")
+	cand.Quick = false
+	cand.Result.ID = "fig8"
+	cand.Result.Series = cand.Result.Series[:1]                     // drop a series
+	cand.Result.Series[0].Points = cand.Result.Series[0].Points[:1] // drop a point
+	d := DiffReports(base, cand, DefaultDiffOptions())
+	joined := strings.Join(d.Warnings, "\n")
+	for _, want := range []string{"quick-mode mismatch", "experiment mismatch", "missing from candidate", "point x=3000 missing"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("warnings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestDiffRenderGolden pins the human-readable diff table so the CI gate's
+// output stays stable. Regenerate with: go test ./internal/bench -run Golden -update
+func TestDiffRenderGolden(t *testing.T) {
+	base := loadTestReport(t, "diff_base.json")
+	cand := loadTestReport(t, "diff_regressed.json")
+	var sb strings.Builder
+	DiffReports(base, cand, DefaultDiffOptions()).Render(&sb)
+	golden := filepath.Join("testdata", "diff_output.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Fatalf("diff render drifted from golden.\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestReportMetaStamped: Report() must label the run with the process and
+// checkout metadata benchdiff prints.
+func TestReportMetaStamped(t *testing.T) {
+	res := &Result{ID: "x", Title: "t"}
+	rep := res.Report(true, obs.Snapshot{})
+	if rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS < 1 {
+		t.Fatalf("meta not stamped: %+v", rep.Meta)
+	}
+	if rep.Meta.Timestamp == "" || !strings.HasSuffix(rep.Meta.Timestamp, "Z") {
+		t.Fatalf("timestamp not UTC RFC3339: %q", rep.Meta.Timestamp)
+	}
+	if rep.Meta.GitSHA == "" {
+		t.Fatal("git sha empty (want a sha or \"unknown\")")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"log/slog"
+
 	"aggcache/internal/query"
 	"aggcache/internal/table"
 	"aggcache/internal/txn"
@@ -27,15 +29,19 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		var st query.Stats
 		// Settle invalidations first so the fold starts from a value that
 		// matches the live main rows (joins go stale; rebuilt on access).
-		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st); err != nil || e.Stale {
-			e.Stale = true
+		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st); err != nil {
+			m.markStale(e, "merge-time main compensation failed: "+err.Error())
+			continue
+		}
+		if e.Stale {
+			// mainCompensate marked (and counted) the invalidation itself.
 			continue
 		}
 		// Fold the merging delta against the other tables' main stores:
 		// exactly the subjoins the new, larger main will cover from now on.
 		combos := mergeFoldCombos(db, e.Query, tbl.Name(), part)
 		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st, nil); err != nil {
-			e.Stale = true
+			m.markStale(e, "merge-time delta fold failed: "+err.Error())
 			continue
 		}
 		m.bytes -= e.Metrics.SizeBytes
@@ -46,6 +52,11 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		e.SnapHigh = snap.High
 		m.obs.maintenances.Inc()
 		m.obs.recordStats(&st)
+		if m.ev.Enabled() {
+			m.ev.Emit("cache.maintenances",
+				slog.String("key", e.Key), slog.String("table", tbl.Name()),
+				slog.Int64("delta_tuples", st.TuplesJoined))
+		}
 	}
 	m.syncGauges()
 }

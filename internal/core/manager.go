@@ -1,6 +1,7 @@
 package core
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 
@@ -32,6 +33,11 @@ type Config struct {
 	// into; nil uses the process-wide obs.Default(). Tests inject a
 	// private registry to read counters in isolation.
 	Metrics *obs.Registry
+	// Events selects the structured event log lifecycle events (cache
+	// admission/eviction/invalidation, subjoin prune and pushdown
+	// decisions) are emitted to; nil uses the process-wide obs.Events(),
+	// which is the disabled no-op stream unless a binary installed one.
+	Events *obs.EventLog
 }
 
 // ExecInfo reports how one query execution was served.
@@ -69,6 +75,7 @@ type Manager struct {
 	entries map[string]*Entry
 	bytes   uint64
 	obs     *managerObs
+	ev      *obs.EventLog
 	// Evictions counts evicted entries (for introspection and tests).
 	Evictions int64
 }
@@ -81,13 +88,18 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 	if mds == nil {
 		mds = md.NewRegistry(db)
 	}
+	ev := cfg.Events
+	if ev == nil {
+		ev = obs.Events()
+	}
 	m := &Manager{
 		db:      db,
 		mds:     mds,
-		exec:    &query.Executor{DB: db},
+		exec:    &query.Executor{DB: db, Events: ev},
 		cfg:     cfg,
 		entries: make(map[string]*Entry),
 		obs:     newManagerObs(cfg.Metrics),
+		ev:      ev,
 	}
 	db.RegisterMergeHook(&mergeHook{m: m})
 	return m
@@ -355,12 +367,20 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 			st.PrunedEmpty++
 			cs.Attr("verdict", "pruned-empty")
 			cs.End()
+			if m.ev.Enabled() {
+				m.ev.Emit("subjoins.pruned_empty",
+					slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()))
+			}
 			continue
 		}
 		if strat >= CachedFullPruning && m.mds.ComboPruned(q, combo) {
 			st.PrunedMD++
 			cs.Attr("verdict", "pruned-md")
 			cs.End()
+			if m.ev.Enabled() {
+				m.ev.Emit("subjoins.pruned_md",
+					slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()))
+			}
 			continue
 		}
 		var extra map[string]expr.Pred
@@ -375,12 +395,32 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 						}
 					}
 				}
+				if m.ev.Enabled() {
+					// The pushed-down predicates are the derived tid-range
+					// filters; their rendering carries the ranges.
+					attrs := []slog.Attr{
+						slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
+					}
+					for _, name := range q.Tables {
+						if p, ok := filters[name]; ok {
+							attrs = append(attrs, slog.String("filter."+name, p.String()))
+						}
+					}
+					m.ev.Emit("subjoins.pushdowns", attrs...)
+				}
 			}
 		}
+		tuplesBefore, scanPrunedBefore := st.TuplesJoined, st.PrunedScan
 		if err := m.exec.ExecuteComboSpan(q, combo, snap, extra, nil, out, st, cs); err != nil {
 			return err
 		}
 		cs.End()
+		// Scan-pruned subjoins emit their own event from the executor.
+		if m.ev.Enabled() && st.PrunedScan == scanPrunedBefore {
+			m.ev.Emit("subjoins.executed",
+				slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
+				slog.Int64("tuples", st.TuplesJoined-tuplesBefore))
+		}
 	}
 	return nil
 }
@@ -463,6 +503,11 @@ func (m *Manager) admit(e *Entry) bool {
 	m.evictOverCapacity()
 	m.syncGauges()
 	_, still := m.entries[e.Key]
+	if still && m.ev.Enabled() {
+		m.ev.Emit("cache.admissions",
+			slog.String("key", e.Key), slog.Float64("profit", e.Metrics.Profit()),
+			slog.Uint64("size_bytes", e.Metrics.SizeBytes))
+	}
 	return still
 }
 
@@ -478,8 +523,25 @@ func (m *Manager) evictOverCapacity() {
 		m.bytes -= victim.Metrics.SizeBytes
 		m.Evictions++
 		m.obs.evictions.Inc()
+		if m.ev.Enabled() {
+			m.ev.Emit("cache.evictions",
+				slog.String("key", victim.Key), slog.Float64("profit", victim.Metrics.Profit()),
+				slog.Uint64("size_bytes", victim.Metrics.SizeBytes))
+		}
 	}
 	m.syncGauges()
+}
+
+// markStale invalidates an entry: its main stores saw invalidations that
+// cannot be compensated incrementally, so it is rebuilt on next access.
+// Callers hold m.mu.
+func (m *Manager) markStale(e *Entry, cause string) {
+	e.Stale = true
+	m.obs.invalidations.Inc()
+	if m.ev.Enabled() {
+		m.ev.Emit("cache.invalidations",
+			slog.String("key", e.Key), slog.String("cause", cause))
+	}
 }
 
 // storeDiff describes the invalidations detected in one tracked main
@@ -528,12 +590,12 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 			e.MainVis[d.ref] = d.cur
 		}
 	case m.cfg.DisableJoinCompensation:
-		e.Stale = true
+		m.markStale(e, "join compensation disabled")
 		return total, nil
 	default:
 		if err := m.joinMainCompensate(e, diffs, st); err != nil {
 			// Fall back to a rebuild rather than serving a wrong result.
-			e.Stale = true
+			m.markStale(e, "join compensation failed: "+err.Error())
 			return total, nil
 		}
 	}

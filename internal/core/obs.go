@@ -39,6 +39,10 @@ type managerObs struct {
 	// Merge-time incremental maintenance.
 	maintenances *obs.Counter // cache.maintenances — entries folded during merges
 
+	// Invalidation: entries marked stale because main-store invalidations
+	// could not be compensated incrementally.
+	invalidations *obs.Counter // cache.invalidations
+
 	// Latency distributions.
 	queryLat     *obs.Histogram // latency.query — full Execute wall clock
 	deltaCompLat *obs.Histogram // latency.delta_comp — delta compensation only
@@ -49,27 +53,28 @@ func newManagerObs(reg *obs.Registry) *managerObs {
 		reg = obs.Default()
 	}
 	return &managerObs{
-		reg:          reg,
-		hits:         reg.Counter("cache.hits"),
-		misses:       reg.Counter("cache.misses"),
-		admissions:   reg.Counter("cache.admissions"),
-		evictions:    reg.Counter("cache.evictions"),
-		rebuilds:     reg.Counter("cache.rebuilds"),
-		bypasses:     reg.Counter("cache.bypasses"),
-		entries:      reg.Gauge("cache.entries"),
-		bytes:        reg.Gauge("cache.bytes"),
-		mainCompRows: reg.Counter("comp.main_rows"),
-		subjoins:     reg.Counter("subjoins.considered"),
-		executed:     reg.Counter("subjoins.executed"),
-		prunedEmpty:  reg.Counter("subjoins.pruned_empty"),
-		prunedMD:     reg.Counter("subjoins.pruned_md"),
-		prunedScan:   reg.Counter("subjoins.pruned_scan"),
-		pushdowns:    reg.Counter("subjoins.pushdowns"),
-		rowsScanned:  reg.Counter("exec.rows_scanned"),
-		tuplesJoined: reg.Counter("exec.tuples_joined"),
-		maintenances: reg.Counter("cache.maintenances"),
-		queryLat:     reg.Histogram("latency.query"),
-		deltaCompLat: reg.Histogram("latency.delta_comp"),
+		reg:           reg,
+		hits:          reg.Counter("cache.hits"),
+		misses:        reg.Counter("cache.misses"),
+		admissions:    reg.Counter("cache.admissions"),
+		evictions:     reg.Counter("cache.evictions"),
+		rebuilds:      reg.Counter("cache.rebuilds"),
+		bypasses:      reg.Counter("cache.bypasses"),
+		entries:       reg.Gauge("cache.entries"),
+		bytes:         reg.Gauge("cache.bytes"),
+		mainCompRows:  reg.Counter("comp.main_rows"),
+		subjoins:      reg.Counter("subjoins.considered"),
+		executed:      reg.Counter("subjoins.executed"),
+		prunedEmpty:   reg.Counter("subjoins.pruned_empty"),
+		prunedMD:      reg.Counter("subjoins.pruned_md"),
+		prunedScan:    reg.Counter("subjoins.pruned_scan"),
+		pushdowns:     reg.Counter("subjoins.pushdowns"),
+		rowsScanned:   reg.Counter("exec.rows_scanned"),
+		tuplesJoined:  reg.Counter("exec.tuples_joined"),
+		maintenances:  reg.Counter("cache.maintenances"),
+		invalidations: reg.Counter("cache.invalidations"),
+		queryLat:      reg.Histogram("latency.query"),
+		deltaCompLat:  reg.Histogram("latency.delta_comp"),
 	}
 }
 

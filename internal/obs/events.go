@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// EventLog is the engine's structured event stream: discrete lifecycle
+// events (cache admission/eviction, delta-merge start/finish, subjoin
+// prune/pushdown decisions, entry invalidation) emitted as JSON lines via
+// log/slog. Where an event corresponds to a registry metric it carries the
+// metric's name as its message — "cache.admissions", "table.merges",
+// "subjoins.pruned_md" — so the event stream and the time series join on
+// the same namespace.
+//
+// A nil *EventLog is the disabled stream: Emit is a no-op and Enabled
+// reports false, so instrumented code guards attribute construction with
+//
+//	if ev.Enabled() {
+//	    ev.Emit("cache.evictions", slog.String("key", key), ...)
+//	}
+//
+// and pays only a nil check when events are off (the default).
+type EventLog struct {
+	l *slog.Logger
+}
+
+// NewEventLog returns an event log writing JSON lines to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{l: slog.New(slog.NewJSONHandler(w, nil))}
+}
+
+// NewEventLogHandler returns an event log emitting through an arbitrary
+// slog handler — tests inject a capturing handler.
+func NewEventLogHandler(h slog.Handler) *EventLog {
+	return &EventLog{l: slog.New(h)}
+}
+
+// Enabled reports whether events are recorded. Call it before building
+// attributes on hot paths; a nil receiver reports false.
+func (e *EventLog) Enabled() bool { return e != nil && e.l != nil }
+
+// Emit records one event. The event name doubles as the slog message; by
+// convention it matches the registry metric the event increments.
+func (e *EventLog) Emit(event string, attrs ...slog.Attr) {
+	if !e.Enabled() {
+		return
+	}
+	e.l.LogAttrs(context.Background(), slog.LevelInfo, event, attrs...)
+}
+
+// defaultEvents is the process-wide event log, nil (disabled) unless a
+// binary installs one. Stored atomically so SetDefaultEvents can race with
+// readers during startup.
+var defaultEvents atomic.Pointer[EventLog]
+
+// Events returns the process-wide event log; nil (the no-op stream) until
+// SetDefaultEvents installs one. Components that take no explicit EventLog
+// (the DB container, managers built with a zero Config) report here.
+func Events() *EventLog { return defaultEvents.Load() }
+
+// SetDefaultEvents installs the process-wide event log. Binaries call it
+// once at startup, before building the database, so every layer picks it
+// up.
+func SetDefaultEvents(e *EventLog) { defaultEvents.Store(e) }

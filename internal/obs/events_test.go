@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestEventLogEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	ev := NewEventLog(&buf)
+	if !ev.Enabled() {
+		t.Fatal("constructed event log should be enabled")
+	}
+	ev.Emit("cache.admissions",
+		slog.String("key", "T[Header]"), slog.Float64("profit", 1.5), slog.Uint64("size_bytes", 64))
+	ev.Emit("table.merges", slog.String("table", "Item"), slog.Int("from_delta", 10))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first["msg"] != "cache.admissions" {
+		t.Fatalf("msg = %v, want cache.admissions", first["msg"])
+	}
+	if first["key"] != "T[Header]" || first["profit"] != 1.5 {
+		t.Fatalf("attrs = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["msg"] != "table.merges" || second["from_delta"] != float64(10) {
+		t.Fatalf("second event = %v", second)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var ev *EventLog
+	if ev.Enabled() {
+		t.Fatal("nil event log should report disabled")
+	}
+	ev.Emit("cache.evictions", slog.String("key", "x")) // must not panic
+}
+
+// TestDisabledEventGuardAllocs checks the Enabled() guard pattern costs
+// nothing when events are off: no attribute construction, no allocations.
+func TestDisabledEventGuardAllocs(t *testing.T) {
+	var ev *EventLog
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev.Enabled() {
+			ev.Emit("subjoins.executed", slog.Int64("tuples", 42))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled event guard allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestDefaultEvents(t *testing.T) {
+	if Events() != nil {
+		t.Skip("another test installed a default event log")
+	}
+	var buf bytes.Buffer
+	ev := NewEventLog(&buf)
+	SetDefaultEvents(ev)
+	defer SetDefaultEvents(nil)
+	if Events() != ev {
+		t.Fatal("Events() did not return the installed log")
+	}
+	Events().Emit("test.event")
+	if !strings.Contains(buf.String(), "test.event") {
+		t.Fatalf("default event log did not record: %q", buf.String())
+	}
+}

@@ -4,17 +4,25 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"reflect"
 )
 
 // DebugMux builds the debug HTTP surface:
 //
-//	/metrics      JSON snapshot of the registry
-//	/debug/cache  JSON dump produced by cacheDump (entry metrics by profit)
+//	/metrics            JSON snapshot of the registry
+//	/metrics?format=prom  the same snapshot in Prometheus text format
+//	/debug/series       sampler ring buffers as JSON (time series per metric)
+//	/debug/cache        JSON dump produced by cacheDump (entry metrics by profit)
+//	/debug/pprof/...    standard net/http/pprof profiles
 //
-// cacheDump may be nil, in which case /debug/cache reports an empty list.
-// The mux is plain net/http so the binaries start it with one goroutine and
-// no dependencies.
-func DebugMux(reg *Registry, cacheDump func() any) *http.ServeMux {
+// cacheDump may be nil, in which case /debug/cache reports an empty list;
+// sampler may be nil, in which case /debug/series reports an empty object.
+// Every introspection handler is GET-only (405 otherwise) and marked
+// Cache-Control: no-store — the payloads are live state, never cacheable.
+// The mux is plain net/http so the binaries start it with one goroutine
+// and no dependencies.
+func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -22,28 +30,74 @@ func DebugMux(reg *Registry, cacheDump func() any) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
 	}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// handle wraps an introspection handler with the method and caching
+	// policy shared by every endpoint.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Cache-Control", "no-store")
+			h(w, r)
+		})
+	}
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WriteProm(w, reg.Snapshot())
+			return
+		}
 		writeJSON(w, reg.Snapshot())
 	})
-	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
+	handle("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+		if sampler == nil {
+			writeJSON(w, map[string][]Sample{})
+			return
+		}
+		writeJSON(w, sampler.Dump())
+	})
+	handle("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		if cacheDump == nil {
 			writeJSON(w, []any{})
 			return
 		}
-		writeJSON(w, cacheDump())
+		writeJSON(w, emptyAsList(cacheDump()))
 	})
+	// pprof keeps its own method semantics (symbol accepts POST), so it is
+	// wired directly rather than through handle.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// emptyAsList normalizes a nil value or nil slice to an empty list so
+// /debug/cache renders "[]", never "null" — consumers iterate the payload
+// without a null check.
+func emptyAsList(v any) any {
+	if v == nil {
+		return []any{}
+	}
+	rv := reflect.ValueOf(v)
+	if (rv.Kind() == reflect.Slice || rv.Kind() == reflect.Map) && rv.IsNil() {
+		return []any{}
+	}
+	return v
 }
 
 // ServeDebug listens on addr and serves the debug mux in a background
 // goroutine. It returns the bound address (useful with a ":0" addr) or an
 // error if the listener cannot be opened.
-func ServeDebug(addr string, reg *Registry, cacheDump func() any) (string, error) {
+func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugMux(reg, cacheDump)}
+	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

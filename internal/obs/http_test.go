@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeDebugEndToEnd is the end-to-end HTTP test of the full debug
+// surface on a real listener: /metrics in both formats, /debug/series,
+// /debug/cache (including the empty-cache shape), method policy, caching
+// policy, and pprof.
+func TestServeDebugEndToEnd(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(5)
+	r.Histogram("latency.query").Observe(250 * time.Microsecond)
+	sampler := NewSampler(r, SamplerConfig{Interval: time.Hour, Capacity: 8})
+	sampler.SampleOnce()
+
+	var dumpResult any = nil // empty cache: a nil slice, the regression case
+	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+
+	// /metrics JSON.
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("/metrics Cache-Control = %q, want no-store", cc)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v", err)
+	}
+	if snap.Counters["cache.hits"] != 5 {
+		t.Fatalf("/metrics counters = %v", snap.Counters)
+	}
+
+	// /metrics Prometheus text format.
+	resp, body = get("/metrics?format=prom")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prom Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE aggcache_cache_hits counter",
+		"aggcache_cache_hits 5",
+		`aggcache_latency_query_us_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, body)
+		}
+	}
+
+	// /debug/series returns the sampler's ring buffers.
+	_, body = get("/debug/series")
+	var series map[string][]Sample
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/debug/series is not a series map: %v", err)
+	}
+	if len(series["cache.hits"]) != 1 || series["cache.hits"][0].Value != 5 {
+		t.Fatalf("/debug/series cache.hits = %v", series["cache.hits"])
+	}
+
+	// /debug/cache must render an empty cache as [], never null.
+	_, body = get("/debug/cache")
+	if got := strings.TrimSpace(body); got != "[]" {
+		t.Fatalf("/debug/cache empty dump = %q, want []", got)
+	}
+	dumpResult = []map[string]any{{"key": "q1"}}
+	_, body = get("/debug/cache")
+	if !strings.Contains(body, `"key": "q1"`) {
+		t.Fatalf("/debug/cache = %s", body)
+	}
+
+	// Non-GET is rejected with 405 and an Allow header.
+	presp, err := http.Post("http://"+addr+"/metrics", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", presp.StatusCode)
+	}
+	if allow := presp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("405 Allow header = %q", allow)
+	}
+
+	// pprof is wired on the same mux.
+	resp, body = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline status = %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestDebugMuxNilSamplerAndDump(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		"/debug/series": "{}",
+		"/debug/cache":  "[]",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if got := strings.TrimSpace(string(b)); got != want {
+			t.Fatalf("%s = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -186,6 +186,17 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// CounterNames returns the snapshot's counter names in sorted order — the
+// deterministic iteration order every text renderer (aggsql \stats, the
+// Prometheus exposition, diffs) uses, so goldens and diffs are stable.
+func (s Snapshot) CounterNames() []string { return Names(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string { return Names(s.Gauges) }
+
+// HistogramNames returns the snapshot's histogram names in sorted order.
+func (s Snapshot) HistogramNames() []string { return Names(s.Histograms) }
+
 // Names returns the sorted metric names of a snapshot section — the stable
 // iteration order the text renderers use.
 func Names[V any](m map[string]V) []string {

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric so the engine's series are
+// unambiguous on a shared Prometheus server.
+const promNamespace = "aggcache_"
+
+// promName maps a registry metric name to a valid Prometheus metric name:
+// namespace prefix, dots and dashes to underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, each
+// histogram as cumulative `_bucket{le="..."}` samples (upper bounds in
+// microseconds, matching the registry's native unit) plus `_sum` and
+// `_count`. Output is deterministically ordered by metric name.
+func WriteProm(w io.Writer, s Snapshot) {
+	for _, name := range Names(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range Names(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range Names(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name + "_us")
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.UpperUS, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.SumUS)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}

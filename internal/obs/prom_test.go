@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"cache.hits":         "aggcache_cache_hits",
+		"latency.query":      "aggcache_latency_query",
+		"table.merge-rows":   "aggcache_table_merge_rows",
+		"subjoins.pruned_md": "aggcache_subjoins_pruned_md",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(5)
+	r.Gauge("cache.bytes").Set(2048)
+	h := r.Histogram("latency.query")
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond)
+
+	var sb strings.Builder
+	WriteProm(&sb, r.Snapshot())
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE aggcache_cache_hits counter",
+		"aggcache_cache_hits 5",
+		"# TYPE aggcache_cache_bytes gauge",
+		"aggcache_cache_bytes 2048",
+		"# TYPE aggcache_latency_query_us histogram",
+		`aggcache_latency_query_us_bucket{le="+Inf"} 101`,
+		"aggcache_latency_query_us_count 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative and monotonically non-decreasing, ending
+	// at the observation count; every sample line must be "name value".
+	var lastCum int64 = -1
+	var bucketLines int
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q does not have exactly 2 fields", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("sample value %q is not numeric: %v", fields[1], err)
+		}
+		if strings.Contains(fields[0], "_bucket{") {
+			bucketLines++
+			v, _ := strconv.ParseInt(fields[1], 10, 64)
+			if v < lastCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = v
+		}
+	}
+	if bucketLines < 3 { // two observed buckets + +Inf
+		t.Fatalf("got %d bucket lines, want >= 3:\n%s", bucketLines, out)
+	}
+	if lastCum != 101 {
+		t.Fatalf("final cumulative bucket = %d, want 101", lastCum)
+	}
+}
+
+// TestWritePromDeterministic: two renders of the same snapshot must be
+// byte-identical (sorted metric names).
+func TestWritePromDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.last", "a.first", "m.middle"} {
+		r.Counter(n).Inc()
+	}
+	var a, b strings.Builder
+	WriteProm(&a, r.Snapshot())
+	WriteProm(&b, r.Snapshot())
+	if a.String() != b.String() {
+		t.Fatal("prom rendering is not deterministic")
+	}
+	if !strings.Contains(a.String(), "aggcache_a_first") {
+		t.Fatalf("output = %s", a.String())
+	}
+	za := strings.Index(a.String(), "aggcache_z_last")
+	aa := strings.Index(a.String(), "aggcache_a_first")
+	if aa > za {
+		t.Fatal("metric names not sorted")
+	}
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"log/slog"
 
 	"aggcache/internal/column"
 	"aggcache/internal/expr"
@@ -105,6 +106,9 @@ func (s *Stats) Add(o Stats) {
 // run and which extra filters to push down.
 type Executor struct {
 	DB *table.DB
+	// Events receives subjoin-level lifecycle events (dictionary-based scan
+	// pruning); nil disables them.
+	Events *obs.EventLog
 }
 
 // ExecuteCombo evaluates one subjoin — the query restricted to the given
@@ -157,6 +161,11 @@ func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, ex
 			if sp != nil {
 				sp.Attr("verdict", "pruned-scan")
 				sp.Attr("pruned-by", ref.String()+" dictionary vs "+pred.String())
+			}
+			if e.Events.Enabled() {
+				e.Events.Emit("subjoins.pruned_scan",
+					slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
+					slog.String("store", ref.String()), slog.String("filter", pred.String()))
 			}
 			return nil
 		}

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ type DB struct {
 	order  []string
 	hooks  []MergeHook
 	mobs   mergeObs
+	ev     *obs.EventLog
 }
 
 // mergeObs holds the storage layer's merge metric handles, resolved once at
@@ -53,18 +55,23 @@ func newMergeObs(reg *obs.Registry) mergeObs {
 }
 
 // Open returns an empty database reporting into the default observability
-// registry.
+// registry and the process-wide event log.
 func Open() *DB {
 	return &DB{
 		txns:   txn.NewManager(),
 		tables: make(map[string]*Table),
 		mobs:   newMergeObs(obs.Default()),
+		ev:     obs.Events(),
 	}
 }
 
 // SetMetrics redirects the database's storage-layer metrics (merge counters
 // and latency) into reg. Call before concurrent use.
 func (db *DB) SetMetrics(reg *obs.Registry) { db.mobs = newMergeObs(reg) }
+
+// SetEvents redirects the database's merge lifecycle events into ev (nil
+// disables them). Call before concurrent use.
+func (db *DB) SetEvents(ev *obs.EventLog) { db.ev = ev }
 
 // Txns returns the transaction manager.
 func (db *DB) Txns() *txn.Manager { return db.txns }
@@ -141,6 +148,11 @@ func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (Mer
 	}
 	snap := db.txns.ReadSnapshot()
 	begin := time.Now()
+	if db.ev.Enabled() {
+		db.ev.Emit("table.merge_start",
+			slog.String("table", tableName), slog.Int("part", part),
+			slog.Int("delta_rows", t.Partition(part).Delta.Rows()))
+	}
 	for _, h := range db.hooks {
 		h.BeforeMerge(db, t, part, snap)
 	}
@@ -155,7 +167,14 @@ func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (Mer
 	db.mobs.fromMain.Add(int64(stats.FromMain))
 	db.mobs.fromDelta.Add(int64(stats.FromDelta))
 	db.mobs.dropped.Add(int64(stats.Dropped))
-	db.mobs.latency.Observe(time.Since(begin))
+	dur := time.Since(begin)
+	db.mobs.latency.Observe(dur)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.merges",
+			slog.String("table", tableName), slog.Int("part", part),
+			slog.Int("from_main", stats.FromMain), slog.Int("from_delta", stats.FromDelta),
+			slog.Int("dropped", stats.Dropped), slog.Int64("dur_us", dur.Microseconds()))
+	}
 	return stats, nil
 }
 
