@@ -66,6 +66,7 @@ func main() {
 		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache, /debug/series, /debug/pprof) on this address")
 		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
+		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
 	)
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 		obs.SetDefaultEvents(obs.NewEventLog(w))
 	}
 
-	sh, err := load(*dataset)
+	sh, err := load(*dataset, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
@@ -146,7 +147,7 @@ func main() {
 	}
 }
 
-func load(dataset string) (*shell, error) {
+func load(dataset string, workers int) (*shell, error) {
 	switch dataset {
 	case "erp":
 		cfg := workload.DefaultERPConfig()
@@ -157,7 +158,7 @@ func load(dataset string) (*shell, error) {
 		}
 		return &shell{
 			db:          erp.DB,
-			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{}),
+			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{Workers: workers}),
 			strategy:    core.CachedFullPruning,
 			insert:      erp.InsertBusinessObjects,
 			mergeTables: []string{workload.THeader, workload.TItem},
@@ -169,7 +170,7 @@ func load(dataset string) (*shell, error) {
 		}
 		return &shell{
 			db:       ch.DB,
-			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{}),
+			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{Workers: workers}),
 			strategy: core.CachedFullPruning,
 			insert: func(n int) error {
 				for i := 0; i < n; i++ {

@@ -35,9 +35,11 @@ func main() {
 		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/series, /debug/pprof) on this address while running")
 		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
+		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+	bench.Workers = *workers
 
 	if *list {
 		for _, e := range bench.All() {

@@ -38,7 +38,7 @@ func RunAblateMergeSync(quick bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{Workers: Workers})
 		q := erp.ProfitQuery(cfg.BaseYear+cfg.Years-1, cfg.Languages[0])
 		if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
 			return nil, err
@@ -129,7 +129,7 @@ func RunAblateNegDelta(quick bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{DisableJoinCompensation: policy.disable})
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{DisableJoinCompensation: policy.disable, Workers: Workers})
 		q := erp.ProfitQuery(cfg.BaseYear+cfg.Years-1, cfg.Languages[0])
 		if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
 			return nil, err

@@ -19,6 +19,12 @@ import (
 	"aggcache/internal/obs"
 )
 
+// Workers is the subjoin worker-pool cap every experiment passes to the
+// managers and executors it builds; 0 (the default) means GOMAXPROCS.
+// cmd/benchrunner sets it from -workers. Results are identical for every
+// value — only timings change.
+var Workers int
+
 // Point is one measurement: X is the experiment's sweep variable, Y the
 // measured value (milliseconds unless the result says otherwise).
 type Point struct {

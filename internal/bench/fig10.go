@@ -51,7 +51,7 @@ func RunFig10(quick bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex := &query.Executor{DB: erp.DB}
+		ex := &query.Executor{DB: erp.DB, Workers: Workers}
 		q := erp.YearRangeQuery(erpCfg.BaseYear, erpCfg.BaseYear+erpCfg.Years)
 		combo := query.Combo{
 			{Table: workload.THeader, Part: 0, Main: false},

@@ -87,7 +87,7 @@ func RunFig11(quick bool) (*Result, error) {
 		if err := erp.InsertBusinessObjects(cfg.deltaObjects); err != nil {
 			return nil, err
 		}
-		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+		mgr := core.NewManager(erp.DB, erp.Reg, core.Config{Workers: Workers})
 		for _, sel := range cfg.selectivities {
 			hi := int64(float64(erpCfg.Headers) * sel)
 			if hi < 1 {

@@ -80,7 +80,7 @@ func RunFig6(quick bool) (*Result, error) {
 				var view *core.MaterializedView
 				var mgr *core.Manager
 				if s.cache {
-					mgr = core.NewManager(erp.DB, erp.Reg, core.Config{})
+					mgr = core.NewManager(erp.DB, erp.Reg, core.Config{Workers: Workers})
 					// Build the entry up front; the workload measures usage.
 					if _, _, err := mgr.Execute(q, core.CachedNoPruning); err != nil {
 						return nil, err

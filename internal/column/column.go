@@ -34,6 +34,22 @@ type Appender interface {
 	Append(v Value)
 }
 
+// Int64Blocker is the optional block-decode fast path of Int64 columns:
+// Int64Block materializes the contiguous rows [start, start+len(dst)) into
+// dst with one virtual call instead of len(dst) Int64 calls, letting scan
+// kernels evaluate predicates over 64-row blocks. Both main and delta int64
+// columns implement it.
+type Int64Blocker interface {
+	Int64Block(start int, dst []int64)
+}
+
+// Int64Gatherer is the optional gather fast path of Int64 columns: it
+// materializes an arbitrary row-id list into dst with one virtual call. The
+// hash-join kernel uses it to decode build and probe keys in bulk.
+type Int64Gatherer interface {
+	Int64Gather(rows []int32, dst []int64)
+}
+
 // NewDelta returns an empty write-optimized delta column of the given kind.
 // Delta columns keep an unsorted dictionary with a hash index so inserts are
 // O(1), mirroring a write-optimized delta store.

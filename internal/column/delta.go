@@ -44,6 +44,30 @@ func (c *deltaCol[T]) Int64(row int) int64 {
 	panic("column: Int64 on non-int64 delta column")
 }
 
+// Int64Block implements Int64Blocker for int64 delta columns; other element
+// types panic, mirroring Int64.
+func (c *deltaCol[T]) Int64Block(start int, dst []int64) {
+	dict, ok := any(c.dict).([]int64)
+	if !ok {
+		panic("column: Int64Block on non-int64 delta column")
+	}
+	ids := c.ids[start : start+len(dst)]
+	for i, id := range ids {
+		dst[i] = dict[id]
+	}
+}
+
+// Int64Gather implements Int64Gatherer for int64 delta columns.
+func (c *deltaCol[T]) Int64Gather(rows []int32, dst []int64) {
+	dict, ok := any(c.dict).([]int64)
+	if !ok {
+		panic("column: Int64Gather on non-int64 delta column")
+	}
+	for i, r := range rows {
+		dst[i] = dict[c.ids[r]]
+	}
+}
+
 func (c *deltaCol[T]) DictLen() int { return len(c.dict) }
 
 func (c *deltaCol[T]) ID(row int) uint32 { return c.ids[row] }

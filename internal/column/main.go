@@ -102,6 +102,50 @@ func (c *intMain) Value(row int) Value { return IntV(c.dictAt(uint32(c.ids.Get(r
 // Int64 implements Reader.
 func (c *intMain) Int64(row int) int64 { return c.dictAt(uint32(c.ids.Get(row))) }
 
+// Int64Block implements Int64Blocker. The id-vector representation is
+// resolved once per block instead of once per row, and the RLE layout
+// decodes runs sequentially rather than re-walking the sample index.
+func (c *intMain) Int64Block(start int, dst []int64) {
+	switch ids := c.ids.(type) {
+	case packedIDs:
+		for i := range dst {
+			dst[i] = c.dictAt(uint32(ids.p.Get(start + i)))
+		}
+	case *rleIDs:
+		r := int(ids.samples[start>>sampleShift])
+		for r+1 < len(ids.starts) && int(ids.starts[r+1]) <= start {
+			r++
+		}
+		v := c.dictAt(uint32(ids.ids.Get(r)))
+		for i := range dst {
+			row := start + i
+			for r+1 < len(ids.starts) && int(ids.starts[r+1]) <= row {
+				r++
+				v = c.dictAt(uint32(ids.ids.Get(r)))
+			}
+			dst[i] = v
+		}
+	default:
+		for i := range dst {
+			dst[i] = c.dictAt(uint32(c.ids.Get(start + i)))
+		}
+	}
+}
+
+// Int64Gather implements Int64Gatherer.
+func (c *intMain) Int64Gather(rows []int32, dst []int64) {
+	switch ids := c.ids.(type) {
+	case packedIDs:
+		for i, r := range rows {
+			dst[i] = c.dictAt(uint32(ids.p.Get(int(r))))
+		}
+	default:
+		for i, r := range rows {
+			dst[i] = c.dictAt(uint32(c.ids.Get(int(r))))
+		}
+	}
+}
+
 // DictLen implements Reader.
 func (c *intMain) DictLen() int { return c.n }
 

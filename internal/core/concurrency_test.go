@@ -11,7 +11,17 @@ import (
 // contract: query execution under the DB read lock while a writer mutates
 // and merges under the write lock. Run with -race to validate the locking.
 func TestConcurrentReadersAndWriter(t *testing.T) {
-	e := newEnv(t, Config{})
+	runConcurrentReadersAndWriter(t, Config{})
+}
+
+// The same contract with the subjoin worker pool wide open, so -race also
+// covers concurrent Execute calls fanning each query out to pool workers.
+func TestConcurrentReadersAndWriterParallelWorkers(t *testing.T) {
+	runConcurrentReadersAndWriter(t, Config{Workers: 8})
+}
+
+func runConcurrentReadersAndWriter(t *testing.T, cfg Config) {
+	e := newEnv(t, cfg)
 	e.insertObject(t, 2013, 10, 20)
 	e.db.MergeTables(false, "Header", "Item")
 	q := joinQuery()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"log/slog"
+	"runtime"
 	"sync"
 	"time"
 
@@ -23,6 +24,11 @@ type Config struct {
 	// MinProfit is the admission threshold on Metrics.Profit; 0 admits
 	// every self-maintainable query.
 	MinProfit float64
+	// Workers caps the number of goroutines the executor's subjoin pool may
+	// use per query; 0 means GOMAXPROCS. With one worker the pool executes
+	// inline on the calling goroutine. Results are identical for every
+	// worker count.
+	Workers int
 	// DisableJoinCompensation turns off negative-delta main compensation
 	// for join entries (the paper's Sec. 8 extension implemented here):
 	// with it disabled, a join entry whose main stores saw invalidations
@@ -95,12 +101,18 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 	m := &Manager{
 		db:      db,
 		mds:     mds,
-		exec:    &query.Executor{DB: db, Events: ev},
+		exec:    &query.Executor{DB: db, Events: ev, Workers: cfg.Workers},
 		cfg:     cfg,
 		entries: make(map[string]*Entry),
 		obs:     newManagerObs(cfg.Metrics),
 		ev:      ev,
 	}
+	m.exec.ParallelSubjoins = m.obs.parallelSubjoins
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	m.obs.workers.Set(int64(w))
 	db.RegisterMergeHook(&mergeHook{m: m})
 	return m
 }
@@ -359,7 +371,13 @@ func mainCombos(db *table.DB, q *query.Query) []query.Combo {
 // verdict — pruned-empty, pruned-md, pruned-scan, or executed — and, when
 // predicate pushdown applied, the derived tid-range filters that justified
 // it.
+//
+// Planning is sequential — prune decisions, their events, and the child
+// spans happen in combo order on this goroutine — and the surviving
+// subjoins run as a batch through the executor's worker pool, which merges
+// results (and fires the per-subjoin executed event) back in plan order.
 func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, out *query.AggTable, st *query.Stats, sp *obs.Span) error {
+	jobs := make([]query.ComboJob, 0, len(combos))
 	for _, combo := range combos {
 		st.Subjoins++
 		cs := sp.Child(combo.String())
@@ -388,11 +406,9 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 			if filters, ok := m.mds.PushdownFilters(q, combo); ok {
 				extra = filters
 				st.Pushdowns++
-				if cs != nil {
-					for _, name := range q.Tables {
-						if p, ok := filters[name]; ok {
-							cs.Attr("pushdown."+name, p.String())
-						}
+				for _, name := range q.Tables {
+					if p, ok := filters[name]; ok {
+						cs.Attr("pushdown."+name, p.String())
 					}
 				}
 				if m.ev.Enabled() {
@@ -410,19 +426,21 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 				}
 			}
 		}
-		tuplesBefore, scanPrunedBefore := st.TuplesJoined, st.PrunedScan
-		if err := m.exec.ExecuteComboSpan(q, combo, snap, extra, nil, out, st, cs); err != nil {
-			return err
-		}
-		cs.End()
-		// Scan-pruned subjoins emit their own event from the executor.
-		if m.ev.Enabled() && st.PrunedScan == scanPrunedBefore {
+		jobs = append(jobs, query.ComboJob{Combo: combo, Extra: extra, Span: cs})
+	}
+	var onDone func(i int, jst *query.Stats)
+	if m.ev.Enabled() {
+		onDone = func(i int, jst *query.Stats) {
+			// Scan-pruned subjoins emit their own event from the executor.
+			if jst.PrunedScan > 0 {
+				return
+			}
 			m.ev.Emit("subjoins.executed",
-				slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
-				slog.Int64("tuples", st.TuplesJoined-tuplesBefore))
+				slog.String("query", q.Fingerprint()), slog.String("combo", jobs[i].Combo.String()),
+				slog.Int64("tuples", jst.TuplesJoined))
 		}
 	}
-	return nil
+	return m.exec.ExecuteJobs(q, jobs, snap, out, st, onDone)
 }
 
 func comboHasEmptyStore(db *table.DB, combo query.Combo) bool {

@@ -53,7 +53,12 @@ func (m *Manager) joinMainCompensate(e *Entry, diffs []storeDiff, st *query.Stat
 				bits++
 			}
 		}
+		// The term's restricted subjoins are independent; they run through
+		// the executor's worker pool and merge in combo order. Only the
+		// inclusion-exclusion fold across terms stays sequential, since a
+		// term's sign depends on its subset.
 		term := query.NewAggTable(e.Query.Aggs)
+		jobs := make([]query.ComboJob, 0, len(combos))
 		for _, combo := range combos {
 			restrict := make([]*vec.BitSet, len(combo))
 			skip := false
@@ -75,9 +80,10 @@ func (m *Manager) joinMainCompensate(e *Entry, diffs []storeDiff, st *query.Stat
 			if skip {
 				continue
 			}
-			if err := m.exec.ExecuteComboRestricted(e.Query, combo, snap, nil, restrict, term, st); err != nil {
-				return fmt.Errorf("core: negative-delta term failed: %w", err)
-			}
+			jobs = append(jobs, query.ComboJob{Combo: combo, Restrict: restrict})
+		}
+		if err := m.exec.ExecuteJobs(e.Query, jobs, snap, term, st, nil); err != nil {
+			return fmt.Errorf("core: negative-delta term failed: %w", err)
 		}
 		sign := 1
 		if bits%2 == 1 {

@@ -36,6 +36,12 @@ type managerObs struct {
 	rowsScanned  *obs.Counter // exec.rows_scanned
 	tuplesJoined *obs.Counter // exec.tuples_joined
 
+	// Parallel subjoin pipeline and scan kernels.
+	workers          *obs.Gauge   // exec.workers — resolved worker pool cap
+	parallelSubjoins *obs.Counter // exec.parallel_subjoins — subjoins run on pool workers
+	scanVecRows      *obs.Counter // exec.scan_vec_rows — rows through the vectorized scan path
+	scanScalarRows   *obs.Counter // exec.scan_scalar_rows — rows through the scalar fallback
+
 	// Merge-time incremental maintenance.
 	maintenances *obs.Counter // cache.maintenances — entries folded during merges
 
@@ -53,28 +59,33 @@ func newManagerObs(reg *obs.Registry) *managerObs {
 		reg = obs.Default()
 	}
 	return &managerObs{
-		reg:           reg,
-		hits:          reg.Counter("cache.hits"),
-		misses:        reg.Counter("cache.misses"),
-		admissions:    reg.Counter("cache.admissions"),
-		evictions:     reg.Counter("cache.evictions"),
-		rebuilds:      reg.Counter("cache.rebuilds"),
-		bypasses:      reg.Counter("cache.bypasses"),
-		entries:       reg.Gauge("cache.entries"),
-		bytes:         reg.Gauge("cache.bytes"),
-		mainCompRows:  reg.Counter("comp.main_rows"),
-		subjoins:      reg.Counter("subjoins.considered"),
-		executed:      reg.Counter("subjoins.executed"),
-		prunedEmpty:   reg.Counter("subjoins.pruned_empty"),
-		prunedMD:      reg.Counter("subjoins.pruned_md"),
-		prunedScan:    reg.Counter("subjoins.pruned_scan"),
-		pushdowns:     reg.Counter("subjoins.pushdowns"),
-		rowsScanned:   reg.Counter("exec.rows_scanned"),
-		tuplesJoined:  reg.Counter("exec.tuples_joined"),
-		maintenances:  reg.Counter("cache.maintenances"),
-		invalidations: reg.Counter("cache.invalidations"),
-		queryLat:      reg.Histogram("latency.query"),
-		deltaCompLat:  reg.Histogram("latency.delta_comp"),
+		reg:          reg,
+		hits:         reg.Counter("cache.hits"),
+		misses:       reg.Counter("cache.misses"),
+		admissions:   reg.Counter("cache.admissions"),
+		evictions:    reg.Counter("cache.evictions"),
+		rebuilds:     reg.Counter("cache.rebuilds"),
+		bypasses:     reg.Counter("cache.bypasses"),
+		entries:      reg.Gauge("cache.entries"),
+		bytes:        reg.Gauge("cache.bytes"),
+		mainCompRows: reg.Counter("comp.main_rows"),
+		subjoins:     reg.Counter("subjoins.considered"),
+		executed:     reg.Counter("subjoins.executed"),
+		prunedEmpty:  reg.Counter("subjoins.pruned_empty"),
+		prunedMD:     reg.Counter("subjoins.pruned_md"),
+		prunedScan:   reg.Counter("subjoins.pruned_scan"),
+		pushdowns:    reg.Counter("subjoins.pushdowns"),
+		rowsScanned:  reg.Counter("exec.rows_scanned"),
+		tuplesJoined: reg.Counter("exec.tuples_joined"),
+		workers:      reg.Gauge("exec.workers"),
+
+		parallelSubjoins: reg.Counter("exec.parallel_subjoins"),
+		scanVecRows:      reg.Counter("exec.scan_vec_rows"),
+		scanScalarRows:   reg.Counter("exec.scan_scalar_rows"),
+		maintenances:     reg.Counter("cache.maintenances"),
+		invalidations:    reg.Counter("cache.invalidations"),
+		queryLat:         reg.Histogram("latency.query"),
+		deltaCompLat:     reg.Histogram("latency.delta_comp"),
 	}
 }
 
@@ -108,6 +119,8 @@ func (o *managerObs) recordStats(st *query.Stats) {
 	o.prunedScan.Add(int64(st.PrunedScan))
 	o.pushdowns.Add(int64(st.Pushdowns))
 	o.rowsScanned.Add(st.RowsScanned)
+	o.scanVecRows.Add(st.ScanVecRows)
+	o.scanScalarRows.Add(st.ScanScalarRows)
 	o.tuplesJoined.Add(st.TuplesJoined)
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aggcache/internal/query"
+	"aggcache/internal/workload"
+)
+
+// workerRun captures everything a strategy execution may legally vary by:
+// nothing. Rows and Stats must be byte-identical for every worker count.
+type workerRun struct {
+	rows  any
+	stats query.Stats
+}
+
+// TestWorkloadDeterminismAcrossWorkers drives the manager's full
+// delta-compensation union over the generated ERP and CH-benCHmark
+// workloads and asserts that results and Stats are identical between the
+// sequential executor and an 8-worker pool, for every strategy, on both the
+// cache-miss and cache-hit paths.
+func TestWorkloadDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload build in -short mode")
+	}
+	type testCase struct {
+		name    string
+		queries map[string]*query.Query
+		mgr     func(workers int) *Manager
+	}
+	var cases []testCase
+
+	erpCfg := workload.ERPConfig{
+		Headers:        300,
+		ItemsPerHeader: 4,
+		Categories:     12,
+		Languages:      []string{"ENG", "GER"},
+		Years:          3,
+		BaseYear:       2012,
+		Seed:           1,
+	}
+	erp, err := workload.BuildERP(erpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the deltas so mixed main/delta subjoins carry real rows.
+	if err := erp.InsertBusinessObjects(40); err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, testCase{
+		name: "erp",
+		queries: map[string]*query.Query{
+			"profit":    erp.ProfitQuery(erpCfg.BaseYear+1, "ENG"),
+			"yearRange": erp.YearRangeQuery(erpCfg.BaseYear, erpCfg.BaseYear+erpCfg.Years),
+		},
+		mgr: func(w int) *Manager { return NewManager(erp.DB, erp.Reg, Config{Workers: w}) },
+	})
+
+	chCfg := workload.CHConfig{
+		Orders:        400,
+		LinesPerOrder: 2,
+		Customers:     120,
+		Items:         60,
+		Warehouses:    2,
+		Suppliers:     20,
+		DeltaShare:    0.1,
+		Seed:          7,
+	}
+	ch, err := workload.BuildCH(chCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, testCase{
+		name:    "chbench",
+		queries: ch.Queries(),
+		mgr:     func(w int) *Manager { return NewManager(ch.DB, ch.Reg, Config{Workers: w}) },
+	})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for qname, q := range tc.queries {
+				t.Run(qname, func(t *testing.T) {
+					for _, strat := range Strategies() {
+						var base []workerRun
+						for _, workers := range []int{1, 8} {
+							mgr := tc.mgr(workers)
+							// Miss then hit: both the build path and the
+							// compensation path must be deterministic.
+							var runs []workerRun
+							for pass := 0; pass < 2; pass++ {
+								res, info, err := mgr.Execute(q, strat)
+								if err != nil {
+									t.Fatalf("%v workers=%d pass=%d: %v", strat, workers, pass, err)
+								}
+								runs = append(runs, workerRun{rows: res.Rows(), stats: info.Stats})
+							}
+							if base == nil {
+								base = runs
+								continue
+							}
+							for pass := range runs {
+								if !reflect.DeepEqual(base[pass].rows, runs[pass].rows) {
+									t.Errorf("%v workers=%d pass=%d rows diverge from workers=1",
+										strat, workers, pass)
+								}
+								if base[pass].stats != runs[pass].stats {
+									t.Errorf("%v workers=%d pass=%d stats diverge:\n got %+v\nwant %+v",
+										strat, workers, pass, runs[pass].stats, base[pass].stats)
+								}
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -8,10 +8,14 @@ package expr
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"aggcache/internal/column"
 )
+
+func popcount(x uint64) int      { return bits.OnesCount64(x) }
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
 // Op is a comparison operator.
 type Op uint8
@@ -74,6 +78,17 @@ type Bound interface {
 	Eval(row int) bool
 }
 
+// WordEvaler is the optional vectorized fast path of a Bound: EvalWord
+// evaluates the predicate for the 64 rows [base, base+64), restricted to the
+// rows whose bit is set in mask, and returns the bits that satisfy it. Bits
+// clear in mask must come back clear; bits for rows past the end of the
+// store are clear in mask by construction (the caller passes the visibility
+// word). Scan kernels probe for this interface and fall back to per-row Eval
+// when it is absent.
+type WordEvaler interface {
+	EvalWord(base int, mask uint64) uint64
+}
+
 // Pred is an unbound predicate over named columns of a single table.
 type Pred interface {
 	fmt.Stringer
@@ -101,6 +116,8 @@ type boundTrue struct{}
 
 func (boundTrue) Eval(int) bool { return true }
 
+func (boundTrue) EvalWord(_ int, mask uint64) uint64 { return mask }
+
 // Cmp compares a column against a constant value.
 type Cmp struct {
 	Col string
@@ -125,7 +142,9 @@ func (c Cmp) Bind(colIndex func(string) int, src RowSource) (Bound, error) {
 		return nil, fmt.Errorf("expr: comparing %v column %s with %v constant", col.Kind(), c.Col, c.Val.K)
 	}
 	if col.Kind() == column.Int64 {
-		return &boundIntCmp{col: col, op: c.Op, val: c.Val.I}, nil
+		b := &boundIntCmp{col: col, op: c.Op, val: c.Val.I}
+		b.blk, _ = col.(column.Int64Blocker)
+		return b, nil
 	}
 	return &boundCmp{col: col, op: c.Op, val: c.Val}, nil
 }
@@ -142,8 +161,10 @@ func (b *boundCmp) Eval(row int) bool { return b.op.holds(column.Compare(b.col.V
 // the dominant case (keys, tids, years).
 type boundIntCmp struct {
 	col column.Reader
+	blk column.Int64Blocker // non-nil when col supports block decode
 	op  Op
 	val int64
+	buf [64]int64 // block-decode scratch for EvalWord
 }
 
 func (b *boundIntCmp) Eval(row int) bool {
@@ -155,6 +176,46 @@ func (b *boundIntCmp) Eval(row int) bool {
 		return b.op.holds(1)
 	}
 	return b.op.holds(0)
+}
+
+// EvalWord implements WordEvaler. A mostly-full mask with a block-decoding
+// column takes the dense path: decode 64 contiguous values in one virtual
+// call and compare in a tight loop. Sparse masks fall back to per-bit Eval so
+// selective upstream filters are not paid for twice.
+func (b *boundIntCmp) EvalWord(base int, mask uint64) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	n := b.col.Len() - base
+	if n > 64 {
+		n = 64
+	}
+	if b.blk != nil && popcount(mask) >= n/2 {
+		b.blk.Int64Block(base, b.buf[:n])
+		var out uint64
+		for i := 0; i < n; i++ {
+			v := b.buf[i]
+			var c int
+			switch {
+			case v < b.val:
+				c = -1
+			case v > b.val:
+				c = 1
+			}
+			if b.op.holds(c) {
+				out |= 1 << uint(i)
+			}
+		}
+		return out & mask
+	}
+	var out uint64
+	for m := mask; m != 0; m &= m - 1 {
+		bit := m & -m
+		if b.Eval(base + trailingZeros(bit)) {
+			out |= bit
+		}
+	}
+	return out
 }
 
 // And is the conjunction of predicates; an empty And is true.
@@ -192,7 +253,15 @@ func (a And) Bind(colIndex func(string) int, src RowSource) (Bound, error) {
 	if err != nil {
 		return nil, err
 	}
-	return boundAnd(bs), nil
+	ws := make([]WordEvaler, len(bs))
+	for i, b := range bs {
+		w, ok := b.(WordEvaler)
+		if !ok {
+			return boundAnd(bs), nil
+		}
+		ws[i] = w
+	}
+	return &boundAndWords{bs: bs, ws: ws}, nil
 }
 
 type boundAnd []Bound
@@ -204,6 +273,26 @@ func (b boundAnd) Eval(row int) bool {
 		}
 	}
 	return true
+}
+
+// boundAndWords is a conjunction whose children all support word-at-a-time
+// evaluation; it threads the shrinking mask through the chain so later terms
+// only evaluate surviving rows.
+type boundAndWords struct {
+	bs []Bound
+	ws []WordEvaler
+}
+
+func (b *boundAndWords) Eval(row int) bool { return boundAnd(b.bs).Eval(row) }
+
+func (b *boundAndWords) EvalWord(base int, mask uint64) uint64 {
+	for _, w := range b.ws {
+		if mask == 0 {
+			return 0
+		}
+		mask = w.EvalWord(base, mask)
+	}
+	return mask
 }
 
 // Or is the disjunction of predicates; an empty Or is false.

@@ -11,10 +11,16 @@ import (
 // Span is one node of a query trace: a named region with key/value
 // attributes, a duration, and child spans. A nil *Span is the disabled
 // tracer — every method is a no-op on a nil receiver, so instrumented code
-// passes spans down unconditionally and pays nothing when tracing is off.
+// MUST call span methods unconditionally rather than guarding each call with
+// an `if sp != nil` check; the nil receiver pays nothing when tracing is
+// off, and uniform unguarded calls keep instrumentation from drifting into
+// the half-guarded state where only some code paths survive a nil tracer.
 //
 // Spans are built by a single goroutine (one query execution); they are not
-// safe for concurrent mutation.
+// safe for concurrent mutation. The parallel subjoin pipeline keeps this
+// contract by pre-creating one child span per subjoin on the coordinating
+// goroutine (Child), then handing each child to exactly one worker, which
+// calls Begin/Attr/End on it alone.
 type Span struct {
 	Name     string        `json:"name"`
 	Dur      time.Duration `json:"dur_ns"`
@@ -44,6 +50,16 @@ func (s *Span) Child(name string) *Span {
 	c := &Span{Name: name, start: time.Now()}
 	s.Children = append(s.Children, c)
 	return c
+}
+
+// Begin resets the span's start time to now. Pre-created spans (handed to a
+// worker some time after Child) call it when execution actually starts so
+// the duration measures work, not queueing.
+func (s *Span) Begin() {
+	if s == nil {
+		return
+	}
+	s.start = time.Now()
 }
 
 // End fixes the span's duration; later Ends are ignored.

@@ -66,7 +66,9 @@ func (c Combo) String() string {
 }
 
 // Stats accumulates execution counters; the experiments use them to report
-// subjoin pruning effectiveness.
+// subjoin pruning effectiveness. Every field is deterministic for a given
+// query and database state — independent of worker count and scheduling —
+// so parallel and sequential execution produce identical Stats.
 type Stats struct {
 	// Subjoins is the number of subjoin combinations considered.
 	Subjoins int
@@ -85,6 +87,12 @@ type Stats struct {
 	Pushdowns int
 	// RowsScanned counts rows inspected by scans.
 	RowsScanned int64
+	// ScanVecRows counts rows inspected through the word-at-a-time
+	// vectorized scan path.
+	ScanVecRows int64
+	// ScanScalarRows counts rows inspected through the row-at-a-time
+	// fallback scan path.
+	ScanScalarRows int64
 	// TuplesJoined counts join result tuples aggregated.
 	TuplesJoined int64
 }
@@ -98,6 +106,8 @@ func (s *Stats) Add(o Stats) {
 	s.PrunedScan += o.PrunedScan
 	s.Pushdowns += o.Pushdowns
 	s.RowsScanned += o.RowsScanned
+	s.ScanVecRows += o.ScanVecRows
+	s.ScanScalarRows += o.ScanScalarRows
 	s.TuplesJoined += o.TuplesJoined
 }
 
@@ -109,6 +119,14 @@ type Executor struct {
 	// Events receives subjoin-level lifecycle events (dictionary-based scan
 	// pruning); nil disables them.
 	Events *obs.EventLog
+	// Workers caps the number of goroutines ExecuteJobs may use; 0 means
+	// GOMAXPROCS. With one worker (or one job) execution is inline on the
+	// calling goroutine.
+	Workers int
+	// ParallelSubjoins counts subjoins executed on pool workers; nil
+	// discards the count. It is an observability counter rather than a
+	// Stats field because its value depends on the worker count.
+	ParallelSubjoins *obs.Counter
 }
 
 // ExecuteCombo evaluates one subjoin — the query restricted to the given
@@ -131,13 +149,24 @@ func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapsh
 // ExecuteComboSpan is the instrumented ExecuteComboRestricted: when sp is
 // non-nil it records the subjoin's execution as span attributes and child
 // spans — the per-store scan sizes, the prune verdict, and the join result
-// size. A nil sp (the common case) costs nothing.
+// size. A nil sp (the common case) costs nothing: every Span method is a
+// no-op on a nil receiver, so the execution path carries no tracing
+// branches.
 //
 // The span verdict is one of:
 //
 //	pruned-scan  the store's dictionary ranges proved a filter unsatisfiable
 //	executed     the subjoin ran (possibly contributing zero tuples)
 func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span) error {
+	scr := getScratch()
+	defer putScratch(scr)
+	return e.executeCombo(scr, q, combo, snap, extra, restrict, out, st, sp)
+}
+
+// executeCombo runs one subjoin with all buffers drawn from scr: vectorized
+// scans per table, a chain of hash joins over reused tuple buffers, and the
+// aggregation fold into out.
+func (e *Executor) executeCombo(scr *execScratch, q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span) error {
 	if len(combo) != len(q.Tables) {
 		return fmt.Errorf("query: combo has %d stores for %d tables", len(combo), len(q.Tables))
 	}
@@ -147,21 +176,19 @@ func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, ex
 	st.Executed++
 
 	// Scan phase: visible rows passing the local filters, per table.
-	stores := make([]*table.Store, len(combo))
-	rowsPer := make([][]int32, len(combo))
+	scr.ensureTables(len(combo))
 	for i, ref := range combo {
 		tbl := e.DB.MustTable(ref.Table)
-		stores[i] = ref.Resolve(e.DB)
+		store := ref.Resolve(e.DB)
+		scr.stores[i] = store
 		pred := expr.NewAnd(q.Filters[ref.Table], extra[ref.Table])
 		// Dynamic partition pruning: if the store's dictionary ranges
 		// prove the local filter unsatisfiable, the subjoin is empty
 		// without scanning a row (paper Example 1).
-		if dictionaryPrunes(pred, stores[i], tbl.Schema()) {
+		if dictionaryPrunes(pred, store, tbl.Schema()) {
 			st.PrunedScan++
-			if sp != nil {
-				sp.Attr("verdict", "pruned-scan")
-				sp.Attr("pruned-by", ref.String()+" dictionary vs "+pred.String())
-			}
+			sp.Attr("verdict", "pruned-scan")
+			sp.Attr("pruned-by", ref.String()+" dictionary vs "+pred.String())
 			if e.Events.Enabled() {
 				e.Events.Emit("subjoins.pruned_scan",
 					slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
@@ -169,89 +196,94 @@ func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, ex
 			}
 			return nil
 		}
-		var set *vec.BitSet
-		if restrict != nil {
-			set = restrict[i]
-		}
-		rows, scanned, err := candidateRows(stores[i], tbl.Schema(), snap, set, pred)
-		if err != nil {
-			return err
+		var rows []int32
+		var scanned, vecRows, scalarRows int64
+		if store.Rows() > 0 {
+			bound, err := pred.Bind(tbl.Schema().ColIndex, store)
+			if err != nil {
+				return err
+			}
+			var set *vec.BitSet
+			if restrict != nil {
+				set = restrict[i]
+			}
+			rows, scanned, vecRows, scalarRows = scr.scanStore(store, snap, set, bound, scr.rowBufs[i])
+			scr.rowBufs[i] = rows
 		}
 		st.RowsScanned += scanned
-		if sp != nil {
-			ss := sp.Child("scan " + ref.String())
-			ss.AttrInt("scanned", scanned)
-			ss.AttrInt("matched", int64(len(rows)))
-			ss.End()
-		}
+		st.ScanVecRows += vecRows
+		st.ScanScalarRows += scalarRows
+		ss := sp.Child("scan " + ref.String())
+		ss.AttrInt("scanned", scanned)
+		ss.AttrInt("matched", int64(len(rows)))
+		ss.End()
 		if len(rows) == 0 {
 			sp.Attr("verdict", "executed")
 			return nil // empty input: subjoin contributes nothing
 		}
-		rowsPer[i] = rows
+		scr.rowsPer[i] = rows
 	}
 
-	pos := make(map[string]int, len(q.Tables))
-	for i, t := range q.Tables {
-		pos[t] = i
-	}
-
-	// Join phase: extend tuples table by table with hash joins.
-	tupleCols := make([][]int32, 1, len(q.Tables))
-	tupleCols[0] = rowsPer[0]
+	// Join phase: extend tuples table by table with hash joins over the
+	// scratch's double-buffered tuple columns.
+	tupleCols := scr.tupleRefs[1][:0]
+	tupleCols = append(tupleCols, scr.rowsPer[0])
+	scr.tupleRefs[1] = tupleCols
 	for ei, edge := range q.Joins {
 		rp := ei + 1
-		lp := pos[edge.Left.Table]
-		leftCol, err := colReader(e.DB, stores[lp], edge.Left)
+		lp := tablePos(q, edge.Left.Table)
+		leftCol, err := colReader(e.DB, scr.stores[lp], edge.Left)
 		if err != nil {
 			return err
 		}
-		rightCol, err := colReader(e.DB, stores[rp], edge.Right)
+		rightCol, err := colReader(e.DB, scr.stores[rp], edge.Right)
 		if err != nil {
 			return err
 		}
-		tupleCols = hashJoin(tupleCols, lp, leftCol, rowsPer[rp], rightCol)
+		tupleCols = scr.hashJoin(ei, tupleCols, lp, leftCol, scr.rowsPer[rp], rightCol)
 		if len(tupleCols[0]) == 0 {
-			if sp != nil {
-				sp.Attr("verdict", "executed")
-				sp.Attr("empty-after-join", edge.String())
-			}
+			sp.Attr("verdict", "executed")
+			sp.Attr("empty-after-join", edge.String())
 			return nil
 		}
 	}
 	n := len(tupleCols[0])
 	st.TuplesJoined += int64(n)
-	if sp != nil {
-		sp.Attr("verdict", "executed")
-		sp.AttrInt("tuples", int64(n))
-	}
+	sp.Attr("verdict", "executed")
+	sp.AttrInt("tuples", int64(n))
 
 	// Aggregation phase.
-	keyCols := make([]column.Reader, len(q.GroupBy))
-	keyPos := make([]int, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		keyPos[i] = pos[g.Table]
-		c, err := colReader(e.DB, stores[keyPos[i]], g)
+	keyCols := scr.keyColBuf[:0]
+	keyPos := scr.keyPosBuf[:0]
+	for _, g := range q.GroupBy {
+		p := tablePos(q, g.Table)
+		c, err := colReader(e.DB, scr.stores[p], g)
 		if err != nil {
 			return err
 		}
-		keyCols[i] = c
+		keyCols = append(keyCols, c)
+		keyPos = append(keyPos, p)
 	}
-	aggCols := make([]column.Reader, len(q.Aggs))
-	aggPos := make([]int, len(q.Aggs))
-	for i, a := range q.Aggs {
-		if a.Col.Col == "" {
-			continue // COUNT(*)
+	aggCols := scr.aggColBuf[:0]
+	aggPos := scr.aggPosBuf[:0]
+	for _, a := range q.Aggs {
+		if a.Col.Col == "" { // COUNT(*)
+			aggCols = append(aggCols, nil)
+			aggPos = append(aggPos, 0)
+			continue
 		}
-		aggPos[i] = pos[a.Col.Table]
-		c, err := colReader(e.DB, stores[aggPos[i]], a.Col)
+		p := tablePos(q, a.Col.Table)
+		c, err := colReader(e.DB, scr.stores[p], a.Col)
 		if err != nil {
 			return err
 		}
-		aggCols[i] = c
+		aggCols = append(aggCols, c)
+		aggPos = append(aggPos, p)
 	}
+	scr.keyColBuf, scr.keyPosBuf = keyCols, keyPos
+	scr.aggColBuf, scr.aggPosBuf = aggCols, aggPos
 
-	if fastAggregate(q, tupleCols, keyCols, keyPos, aggCols, aggPos, out) {
+	if scr.fastAggregate(q, tupleCols, keyCols, keyPos, aggCols, aggPos, out) {
 		return nil
 	}
 	keys := make([]column.Value, len(q.GroupBy))
@@ -270,72 +302,16 @@ func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, ex
 	return nil
 }
 
-// fastAggregate is the vectorization stand-in for the dominant aggregate
-// shape: a single int64 grouping column with self-maintainable numeric
-// aggregates. It accumulates into flat local arrays keyed by an int64 map —
-// an order of magnitude cheaper per row than the generic encoded-key path —
-// and folds the groups into out at the end. It reports whether it applied.
-func fastAggregate(q *Query, tupleCols [][]int32, keyCols []column.Reader, keyPos []int, aggCols []column.Reader, aggPos []int, out *AggTable) bool {
-	if len(keyCols) != 1 || keyCols[0].Kind() != column.Int64 {
-		return false
-	}
-	for i, a := range q.Aggs {
-		if !a.Func.SelfMaintainable() {
-			return false
-		}
-		if aggCols[i] != nil && aggCols[i].Kind() == column.String {
-			return false
+// tablePos resolves a table name to its position in the query's table list.
+// Queries join a handful of tables, so a linear search beats building a map
+// per subjoin.
+func tablePos(q *Query, name string) int {
+	for i, t := range q.Tables {
+		if t == name {
+			return i
 		}
 	}
-	n := len(tupleCols[0])
-	nAggs := len(q.Aggs)
-	hint := n
-	if hint > 16 {
-		hint = 16
-	}
-	idx := make(map[int64]int, hint)
-	keys := make([]int64, 0, hint)
-	counts := make([]int64, 0, hint)
-	sums := make([]float64, 0, hint*nAggs) // stride nAggs
-	keyCol := keyCols[0]
-	kp := keyPos[0]
-	for ti := 0; ti < n; ti++ {
-		k := keyCol.Int64(int(tupleCols[kp][ti]))
-		g, ok := idx[k]
-		if !ok {
-			g = len(keys)
-			idx[k] = g
-			keys = append(keys, k)
-			counts = append(counts, 0)
-			for z := 0; z < nAggs; z++ {
-				sums = append(sums, 0)
-			}
-		}
-		counts[g]++
-		base := g * nAggs
-		for i := 0; i < nAggs; i++ {
-			c := aggCols[i]
-			if c == nil { // COUNT(*)
-				sums[base+i]++
-				continue
-			}
-			if q.Aggs[i].Func == Count {
-				sums[base+i]++
-				continue
-			}
-			if c.Kind() == column.Int64 {
-				sums[base+i] += float64(c.Int64(int(tupleCols[aggPos[i]][ti])))
-			} else {
-				sums[base+i] += c.Value(int(tupleCols[aggPos[i]][ti])).F
-			}
-		}
-	}
-	keyBuf := make([]column.Value, 1)
-	for g, k := range keys {
-		keyBuf[0] = column.IntV(k)
-		out.AddGroup(keyBuf, sums[g*nAggs:(g+1)*nAggs], counts[g])
-	}
-	return true
+	return -1
 }
 
 // dictionaryPrunes evaluates the predicate against the store's dictionary
@@ -353,44 +329,6 @@ func dictionaryPrunes(pred expr.Pred, st *table.Store, sch *table.Schema) bool {
 	})
 }
 
-// candidateRows lists the store's rows that participate in a subjoin: rows
-// passing the predicate and either visible to the snapshot or, when an
-// explicit row set is given, members of that set.
-func candidateRows(st *table.Store, sch *table.Schema, snap txn.Snapshot, set *vec.BitSet, pred expr.Pred) ([]int32, int64, error) {
-	n := st.Rows()
-	if n == 0 {
-		return nil, 0, nil
-	}
-	bound, err := pred.Bind(sch.ColIndex, st)
-	if err != nil {
-		return nil, 0, err
-	}
-	if set != nil {
-		var rows []int32
-		var scanErr error
-		set.ForEachSet(func(i int) {
-			if scanErr != nil || i >= n {
-				return
-			}
-			if bound.Eval(i) {
-				rows = append(rows, int32(i))
-			}
-		})
-		return rows, int64(set.Count()), scanErr
-	}
-	hint := n
-	if hint > 4096 {
-		hint = 4096
-	}
-	rows := make([]int32, 0, hint)
-	for i := 0; i < n; i++ {
-		if snap.Sees(st.CreateTID(i), st.InvalidTID(i)) && bound.Eval(i) {
-			rows = append(rows, int32(i))
-		}
-	}
-	return rows, int64(n), nil
-}
-
 func colReader(db *table.DB, st *table.Store, ref ColRef) (column.Reader, error) {
 	sch := db.MustTable(ref.Table).Schema()
 	i := sch.ColIndex(ref.Col)
@@ -398,48 +336,6 @@ func colReader(db *table.DB, st *table.Store, ref ColRef) (column.Reader, error)
 		return nil, fmt.Errorf("query: unknown column %s", ref)
 	}
 	return st.Col(i), nil
-}
-
-// hashJoin extends the tuple set with a new table: build a hash map over
-// the new table's rows keyed by its join column, probe with the left
-// column of the existing tuples. Int64 keys take an allocation-lean path.
-func hashJoin(tupleCols [][]int32, leftPos int, leftCol column.Reader, rightRows []int32, rightCol column.Reader) [][]int32 {
-	n := len(tupleCols[0])
-	out := make([][]int32, len(tupleCols)+1)
-
-	if leftCol.Kind() == column.Int64 && rightCol.Kind() == column.Int64 {
-		ht := make(map[int64][]int32, len(rightRows))
-		for _, r := range rightRows {
-			k := rightCol.Int64(int(r))
-			ht[k] = append(ht[k], r)
-		}
-		for ti := 0; ti < n; ti++ {
-			k := leftCol.Int64(int(tupleCols[leftPos][ti]))
-			for _, r := range ht[k] {
-				for c := range tupleCols {
-					out[c] = append(out[c], tupleCols[c][ti])
-				}
-				out[len(tupleCols)] = append(out[len(tupleCols)], r)
-			}
-		}
-		return out
-	}
-
-	ht := make(map[column.Value][]int32, len(rightRows))
-	for _, r := range rightRows {
-		k := rightCol.Value(int(r))
-		ht[k] = append(ht[k], r)
-	}
-	for ti := 0; ti < n; ti++ {
-		k := leftCol.Value(int(tupleCols[leftPos][ti]))
-		for _, r := range ht[k] {
-			for c := range tupleCols {
-				out[c] = append(out[c], tupleCols[c][ti])
-			}
-			out[len(tupleCols)] = append(out[len(tupleCols)], r)
-		}
-	}
-	return out
 }
 
 // AllCombos enumerates every subjoin combination of the query: the
@@ -481,17 +377,20 @@ func (e *Executor) ExecuteAll(q *Query, snap txn.Snapshot) (*AggTable, Stats, er
 }
 
 // ExecuteAllSpan is ExecuteAll recording one child span per subjoin under
-// sp when tracing is enabled (nil sp disables tracing).
+// sp when tracing is enabled (nil sp disables tracing). The subjoins are
+// independent, so they run through the worker pool; results merge in combo
+// order, keeping the output identical for every worker count.
 func (e *Executor) ExecuteAllSpan(q *Query, snap txn.Snapshot, sp *obs.Span) (*AggTable, Stats, error) {
 	out := NewAggTable(q.Aggs)
 	var st Stats
-	for _, combo := range AllCombos(e.DB, q) {
+	combos := AllCombos(e.DB, q)
+	jobs := make([]ComboJob, len(combos))
+	for i, combo := range combos {
 		st.Subjoins++
-		cs := sp.Child(combo.String())
-		if err := e.ExecuteComboSpan(q, combo, snap, nil, nil, out, &st, cs); err != nil {
-			return nil, st, err
-		}
-		cs.End()
+		jobs[i] = ComboJob{Combo: combo, Span: sp.Child(combo.String())}
+	}
+	if err := e.ExecuteJobs(q, jobs, snap, out, &st, nil); err != nil {
+		return nil, st, err
 	}
 	return out, st, nil
 }

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"aggcache/internal/column"
+)
+
+// hashKey is the 64-bit mix (splitmix64 finalizer) applied to join keys
+// before bucketing. Sequential keys — the common case for surrogate primary
+// keys and tids — would otherwise pile into adjacent buckets.
+func hashKey(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// joinTable is the int64 hash-join build side: a bucket-chained table over
+// flat arrays instead of a map[int64][]int32, so building allocates nothing
+// in the steady state and probing touches two cache lines per entry. Bucket
+// count is the smallest power of two >= 2x the build size; heads and next
+// hold 1-based entry indices (0 = empty/end).
+//
+// Entries are inserted in reverse row order with head insertion, so walking
+// a chain yields build rows in ascending order — matches emit in the same
+// deterministic order as the append-based map build it replaces.
+type joinTable struct {
+	heads []int32
+	next  []int32
+	keys  []int64
+	rows  []int32
+	mask  uint64
+}
+
+// build indexes the build-side rows by their gathered keys, reusing the
+// table's arrays.
+func (t *joinTable) build(keys []int64, rowIDs []int32) {
+	n := len(rowIDs)
+	bcap := 8
+	for bcap < 2*n {
+		bcap <<= 1
+	}
+	if cap(t.heads) < bcap {
+		t.heads = make([]int32, bcap)
+	} else {
+		t.heads = t.heads[:bcap]
+		clear(t.heads)
+	}
+	if cap(t.next) < n {
+		t.next = make([]int32, n)
+	} else {
+		t.next = t.next[:n]
+	}
+	if cap(t.keys) < n {
+		t.keys = make([]int64, n)
+	} else {
+		t.keys = t.keys[:n]
+	}
+	if cap(t.rows) < n {
+		t.rows = make([]int32, n)
+	} else {
+		t.rows = t.rows[:n]
+	}
+	t.mask = uint64(bcap - 1)
+	for i := n - 1; i >= 0; i-- {
+		k := keys[i]
+		b := hashKey(uint64(k)) & t.mask
+		t.keys[i] = k
+		t.rows[i] = rowIDs[i]
+		t.next[i] = t.heads[b]
+		t.heads[b] = int32(i) + 1
+	}
+}
+
+// hashJoin extends the tuple set with a new table: build a hash table over
+// the new table's candidate rows keyed by its join column, probe with the
+// left column of the existing tuples. Int64 keys take the flat joinTable
+// kernel with bulk-gathered keys; other kinds fall back to a Value-keyed
+// map. Output columns live in the scratch's stage buffers, double-buffered
+// by stage parity.
+func (scr *execScratch) hashJoin(stage int, tupleCols [][]int32, leftPos int, leftCol column.Reader, rightRows []int32, rightCol column.Reader) [][]int32 {
+	nCols := len(tupleCols)
+	p := stage & 1
+	for len(scr.stageCols[p]) <= nCols {
+		scr.stageCols[p] = append(scr.stageCols[p], nil)
+	}
+	out := scr.tupleRefs[p][:0]
+	for c := 0; c <= nCols; c++ {
+		out = append(out, scr.stageCols[p][c][:0])
+	}
+
+	n := len(tupleCols[0])
+	if leftCol.Kind() == column.Int64 && rightCol.Kind() == column.Int64 {
+		scr.buildKeys = gatherInt64(rightCol, rightRows, scr.buildKeys)
+		scr.ht.build(scr.buildKeys, rightRows)
+		scr.probeKeys = gatherInt64(leftCol, tupleCols[leftPos], scr.probeKeys)
+		ht := &scr.ht
+		for ti := 0; ti < n; ti++ {
+			k := scr.probeKeys[ti]
+			for e := ht.heads[hashKey(uint64(k))&ht.mask]; e != 0; e = ht.next[e-1] {
+				if ht.keys[e-1] != k {
+					continue
+				}
+				for c := 0; c < nCols; c++ {
+					out[c] = append(out[c], tupleCols[c][ti])
+				}
+				out[nCols] = append(out[nCols], ht.rows[e-1])
+			}
+		}
+	} else {
+		ht := make(map[column.Value][]int32, len(rightRows))
+		for _, r := range rightRows {
+			k := rightCol.Value(int(r))
+			ht[k] = append(ht[k], r)
+		}
+		for ti := 0; ti < n; ti++ {
+			k := leftCol.Value(int(tupleCols[leftPos][ti]))
+			for _, r := range ht[k] {
+				for c := 0; c < nCols; c++ {
+					out[c] = append(out[c], tupleCols[c][ti])
+				}
+				out[nCols] = append(out[nCols], r)
+			}
+		}
+	}
+	for c := range out {
+		scr.stageCols[p][c] = out[c]
+	}
+	scr.tupleRefs[p] = out
+	return out
+}

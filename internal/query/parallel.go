@@ -1,0 +1,133 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aggcache/internal/expr"
+	"aggcache/internal/obs"
+	"aggcache/internal/txn"
+	"aggcache/internal/vec"
+)
+
+// ComboJob is one unit of work for ExecuteJobs: a subjoin combination plus
+// its pushed-down filters, optional explicit row sets, and a pre-created
+// trace span. The caller (the aggregate cache manager, or ExecuteAll) plans
+// jobs sequentially — pruning decisions, events, and span creation stay on
+// the coordinating goroutine — and hands the surviving subjoins to the pool.
+type ComboJob struct {
+	Combo Combo
+	// Extra holds per-table pushdown filters, conjoined with the query's
+	// own local filters.
+	Extra map[string]expr.Pred
+	// Restrict, when non-nil, replaces snapshot visibility per table (the
+	// negative-delta main compensation path).
+	Restrict []*vec.BitSet
+	// Span is the job's pre-created child span; nil disables tracing. The
+	// worker running the job calls Begin/End on it, so durations measure
+	// execution rather than queueing, while the span tree itself — created
+	// in plan order — stays deterministic under parallel execution.
+	Span *obs.Span
+}
+
+// PoolSize reports how many worker goroutines ExecuteJobs uses for a batch
+// of n jobs: Workers (or GOMAXPROCS when unset), capped by n.
+func (e *Executor) PoolSize(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ExecuteJobs evaluates a batch of subjoin jobs and folds their results into
+// out and st. Jobs are independent — each accumulates into a private
+// AggTable with private Stats — so the pool may run them in any order on up
+// to PoolSize goroutines; results are then merged in job-index order. The
+// sequential fallback (one worker, or a single job) follows the exact same
+// private-table discipline, so the result and the Stats are byte-identical
+// for every worker count: float summation order per group never depends on
+// scheduling.
+//
+// onDone, when non-nil, is invoked in job-index order after each job's
+// result is merged — the manager's per-subjoin event hook.
+//
+// On error, stats are folded in job order up to and including the first
+// failing job and that job's error is returned.
+func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out *AggTable, st *Stats, onDone func(i int, jst *Stats)) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if e.PoolSize(len(jobs)) <= 1 || len(jobs) < 2 {
+		scr := getScratch()
+		defer putScratch(scr)
+		for i := range jobs {
+			sub := NewAggTable(q.Aggs)
+			var jst Stats
+			err := e.runJob(scr, q, &jobs[i], snap, sub, &jst)
+			st.Add(jst)
+			if err != nil {
+				return err
+			}
+			out.Merge(sub)
+			if onDone != nil {
+				onDone(i, &jst)
+			}
+		}
+		return nil
+	}
+
+	type jobResult struct {
+		sub *AggTable
+		st  Stats
+		err error
+	}
+	results := make([]jobResult, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := e.PoolSize(len(jobs)); g > 0; g-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := getScratch()
+			defer putScratch(scr)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				r := &results[i]
+				sub := NewAggTable(q.Aggs)
+				r.err = e.runJob(scr, q, &jobs[i], snap, sub, &r.st)
+				r.sub = sub
+				e.ParallelSubjoins.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		st.Add(results[i].st)
+		if results[i].err != nil {
+			return results[i].err
+		}
+		out.Merge(results[i].sub)
+		if onDone != nil {
+			onDone(i, &results[i].st)
+		}
+	}
+	return nil
+}
+
+func (e *Executor) runJob(scr *execScratch, q *Query, job *ComboJob, snap txn.Snapshot, sub *AggTable, jst *Stats) error {
+	job.Span.Begin()
+	err := e.executeCombo(scr, q, job.Combo, snap, job.Extra, job.Restrict, sub, jst, job.Span)
+	job.Span.End()
+	return err
+}

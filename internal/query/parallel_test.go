@@ -1,0 +1,300 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"aggcache/internal/column"
+	"aggcache/internal/expr"
+	"aggcache/internal/obs"
+	"aggcache/internal/vec"
+)
+
+// Determinism contract of the parallel pipeline: results and Stats are
+// byte-identical for every worker-pool size, including the sequential
+// fallback (workers=1) and the GOMAXPROCS default (workers=0).
+func TestExecuteAllDeterministicAcrossWorkers(t *testing.T) {
+	queries := map[string]*Query{
+		"listing1": listing1(),
+		"twoTable": {
+			Tables: []string{"Header", "Item"},
+			Joins: []JoinEdge{
+				{Left: ColRef{Table: "Header", Col: "HeaderID"}, Right: ColRef{Table: "Item", Col: "HeaderID"}},
+			},
+			GroupBy: []ColRef{{Table: "Item", Col: "CategoryID"}},
+			Aggs:    []AggSpec{{Func: Sum, Col: ColRef{Table: "Item", Col: "Price"}, As: "S"}},
+		},
+	}
+	for name, q := range queries {
+		t.Run(name, func(t *testing.T) {
+			db := buildERP(t)
+			seedERP(t, db)
+			snap := db.Txns().ReadSnapshot()
+
+			type run struct {
+				rows any
+				st   Stats
+			}
+			var base *run
+			for _, workers := range []int{1, 0, 2, 8} {
+				ex := &Executor{DB: db, Workers: workers}
+				res, st, err := ex.ExecuteAll(q, snap)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				cur := &run{rows: res.Rows(), st: st}
+				if base == nil {
+					base = cur
+					continue
+				}
+				if !reflect.DeepEqual(base.rows, cur.rows) {
+					t.Errorf("workers=%d rows diverge:\n got %+v\nwant %+v", workers, cur.rows, base.rows)
+				}
+				if base.st != cur.st {
+					t.Errorf("workers=%d stats diverge:\n got %+v\nwant %+v", workers, cur.st, base.st)
+				}
+			}
+		})
+	}
+}
+
+// The exec.parallel_subjoins counter must tick once per job that runs on a
+// pool worker, and stay untouched on the sequential fallback.
+func TestParallelSubjoinsCounter(t *testing.T) {
+	db := buildERP(t)
+	seedERP(t, db)
+	snap := db.Txns().ReadSnapshot()
+	q := listing1()
+
+	reg := obs.NewRegistry()
+	par := &Executor{DB: db, Workers: 8, ParallelSubjoins: reg.Counter("exec.parallel_subjoins")}
+	if _, st, err := par.ExecuteAll(q, snap); err != nil {
+		t.Fatal(err)
+	} else if got := par.ParallelSubjoins.Value(); got != int64(st.Subjoins) {
+		t.Fatalf("parallel_subjoins = %d, want %d (all %d jobs on pool workers)", got, st.Subjoins, st.Subjoins)
+	}
+
+	seq := &Executor{DB: db, Workers: 1, ParallelSubjoins: reg.Counter("seq.parallel_subjoins")}
+	if _, _, err := seq.ExecuteAll(q, snap); err != nil {
+		t.Fatal(err)
+	} else if got := seq.ParallelSubjoins.Value(); got != 0 {
+		t.Fatalf("sequential fallback incremented parallel_subjoins to %d", got)
+	}
+}
+
+// ExecuteJobs must fold private job results into out in job order no matter
+// which worker finishes first, so repeated parallel runs stay identical.
+func TestExecuteJobsRepeatable(t *testing.T) {
+	db := buildERP(t)
+	seedERP(t, db)
+	snap := db.Txns().ReadSnapshot()
+	q := listing1()
+	ex := &Executor{DB: db, Workers: 8}
+
+	jobs := make([]ComboJob, 0, 8)
+	for _, combo := range AllCombos(db, q) {
+		jobs = append(jobs, ComboJob{Combo: combo})
+	}
+	var baseRows any
+	var baseStats Stats
+	for i := 0; i < 5; i++ {
+		out := NewAggTable(q.Aggs)
+		var st Stats
+		if err := ex.ExecuteJobs(q, jobs, snap, out, &st, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			baseRows, baseStats = out.Rows(), st
+			continue
+		}
+		if !reflect.DeepEqual(baseRows, out.Rows()) {
+			t.Fatalf("run %d rows diverge:\n got %+v\nwant %+v", i, out.Rows(), baseRows)
+		}
+		if st != baseStats {
+			t.Fatalf("run %d stats diverge:\n got %+v\nwant %+v", i, st, baseStats)
+		}
+	}
+}
+
+// Regression: RowsScanned on the restricted path counted every set bit of
+// the caller's bitset, including bits past the store's row count. A restrict
+// set sized larger than the store (routine for cached main-visibility sets
+// allocated in whole words) must count only rows the scan can inspect.
+func TestRestrictScanCountsOnlyStoreRows(t *testing.T) {
+	db := buildERP(t)
+	seedERP(t, db)
+	q := listing1()
+	combo := Combo{
+		{Table: "Header", Part: 0, Main: true},
+		{Table: "Item", Part: 0, Main: true},
+		{Table: "ProductCategory", Part: 0, Main: true},
+	}
+	restrict := make([]*vec.BitSet, len(combo))
+	wantScanned := int64(0)
+	for i, ref := range combo {
+		n := ref.Resolve(db).Rows()
+		wantScanned += int64(n)
+		set := vec.NewBitSet(n + 64) // oversized, as cached visibility sets are
+		set.SetAll()
+		restrict[i] = set
+	}
+	if wantScanned != 8 {
+		t.Fatalf("fixture changed: main stores hold %d rows, want 8", wantScanned)
+	}
+	ex := &Executor{DB: db}
+	out := NewAggTable(q.Aggs)
+	var st Stats
+	if err := ex.ExecuteComboRestricted(q, combo, db.Txns().ReadSnapshot(), nil, restrict, out, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RowsScanned != wantScanned {
+		t.Fatalf("RowsScanned = %d, want %d (oversized restrict bits leaked in)", st.RowsScanned, wantScanned)
+	}
+	if st.ScanVecRows+st.ScanScalarRows != wantScanned {
+		t.Fatalf("scan path split %d+%d does not cover %d scanned rows",
+			st.ScanVecRows, st.ScanScalarRows, wantScanned)
+	}
+}
+
+// The int64 hash-join kernel must not allocate in the steady state: build
+// and probe reuse the joinTable arrays checked out with the scratch.
+func TestHashJoinKernelZeroAlloc(t *testing.T) {
+	const n = 1024
+	keys := make([]int64, n)
+	rowIDs := make([]int32, n)
+	for i := range keys {
+		keys[i] = int64(i % 257)
+		rowIDs[i] = int32(i)
+	}
+	var ht joinTable
+	ht.build(keys, rowIDs) // warm the arrays
+	var matches int
+	allocs := testing.AllocsPerRun(20, func() {
+		ht.build(keys, rowIDs)
+		for _, k := range keys {
+			for e := ht.heads[hashKey(uint64(k))&ht.mask]; e != 0; e = ht.next[e-1] {
+				if ht.keys[e-1] == k {
+					matches++
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hash-join build+probe allocates %.1f per run, want 0", allocs)
+	}
+	if matches == 0 {
+		t.Fatal("probe found no matches; kernel broken")
+	}
+}
+
+// The vectorized scan kernel must not allocate in the steady state either:
+// visibility words, filter words, and the candidate-row list all live in the
+// scratch.
+func TestScanStoreZeroAlloc(t *testing.T) {
+	db := buildERP(t)
+	seedERP(t, db)
+	tbl := db.MustTable("Header")
+	store := StoreRef{Table: "Header", Part: 0, Main: true}.Resolve(db)
+	pred := expr.Cmp{Col: "FiscalYear", Op: expr.Eq, Val: column.IntV(2013)}
+	bound, err := pred.Bind(tbl.Schema().ColIndex, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bound.(expr.WordEvaler); !ok {
+		t.Fatal("int comparison must support word-at-a-time evaluation")
+	}
+	snap := db.Txns().ReadSnapshot()
+	scr := getScratch()
+	defer putScratch(scr)
+	var dst []int32
+	dst, _, _, _ = scr.scanStore(store, snap, nil, bound, dst) // warm the buffers
+	var total int
+	allocs := testing.AllocsPerRun(20, func() {
+		var vecRows int64
+		dst, _, vecRows, _ = scr.scanStore(store, snap, nil, bound, dst)
+		total += len(dst)
+		if vecRows == 0 {
+			total = -1 << 30
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("scanStore allocates %.1f per run, want 0", allocs)
+	}
+	if total <= 0 {
+		t.Fatal("scan found no rows through the vectorized path")
+	}
+}
+
+// BenchmarkHashJoinInt64 measures the flat int64 join kernel: build over n
+// rows, probe with n keys at ~4 matches per probe.
+func BenchmarkHashJoinInt64(b *testing.B) {
+	const n = 8192
+	keys := make([]int64, n)
+	rowIDs := make([]int32, n)
+	probe := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i % (n / 4))
+		rowIDs[i] = int32(i)
+		probe[i] = int64(i % (n / 2))
+	}
+	var ht joinTable
+	ht.build(keys, rowIDs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var matches int
+	for i := 0; i < b.N; i++ {
+		ht.build(keys, rowIDs)
+		for _, k := range probe {
+			for e := ht.heads[hashKey(uint64(k))&ht.mask]; e != 0; e = ht.next[e-1] {
+				if ht.keys[e-1] == k {
+					matches++
+				}
+			}
+		}
+	}
+	if matches == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+// BenchmarkCandidateRows measures the vectorized scan kernel over a merged
+// main store with an int equality predicate (~20% selectivity).
+func BenchmarkCandidateRows(b *testing.B) {
+	db := buildERP(b)
+	tx := db.Txns().Begin()
+	const rows = 50000
+	for i := 0; i < rows; i++ {
+		if _, err := db.MustTable("Header").Insert(tx, []column.Value{
+			column.IntV(int64(i)), column.IntV(int64(2010 + i%5)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tx.Commit()
+	if err := db.MergeTables(false, "Header"); err != nil {
+		b.Fatal(err)
+	}
+	tbl := db.MustTable("Header")
+	store := StoreRef{Table: "Header", Part: 0, Main: true}.Resolve(db)
+	pred := expr.Cmp{Col: "FiscalYear", Op: expr.Eq, Val: column.IntV(2013)}
+	bound, err := pred.Bind(tbl.Schema().ColIndex, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := db.Txns().ReadSnapshot()
+	scr := getScratch()
+	defer putScratch(scr)
+	var dst []int32
+	dst, _, _, _ = scr.scanStore(store, snap, nil, bound, dst)
+	if len(dst) != rows/5 {
+		b.Fatalf("selectivity off: %d candidates, want %d", len(dst), rows/5)
+	}
+	b.SetBytes(int64(rows * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, _, _ = scr.scanStore(store, snap, nil, bound, dst)
+	}
+	_ = fmt.Sprintf("%d", len(dst))
+}

@@ -62,6 +62,13 @@ func (st *Store) Visibility(snap txn.Snapshot) *vec.BitSet {
 	return txn.VisibilityVector(st.create, st.invalid, snap)
 }
 
+// VisibilityInto renders the consistent-view bit vector into a caller-owned
+// scratch bitset, resized to the store's row count — the allocation-free
+// variant the vectorized scan kernels use.
+func (st *Store) VisibilityInto(snap txn.Snapshot, bs *vec.BitSet) {
+	txn.VisibilityInto(st.create, st.invalid, snap, bs)
+}
+
 // LiveRows counts rows visible to the snapshot.
 func (st *Store) LiveRows(snap txn.Snapshot) int {
 	n := 0

@@ -147,14 +147,35 @@ func (t *Txn) Abort() {
 // structure the aggregate cache captures at entry-creation time and compares
 // against for main compensation.
 func VisibilityVector(create, invalid []TID, snap Snapshot) *vec.BitSet {
+	bs := &vec.BitSet{}
+	VisibilityInto(create, invalid, snap, bs)
+	return bs
+}
+
+// VisibilityInto renders the visibility vector into a caller-owned bitset,
+// resizing it to len(create) bits. Visibility is evaluated row-at-a-time but
+// written word-at-a-time — 64 rows accumulate into one register before a
+// single word store — so scan kernels can reuse a scratch bitset across
+// stores without reallocating.
+func VisibilityInto(create, invalid []TID, snap Snapshot, bs *vec.BitSet) {
 	if len(create) != len(invalid) {
 		panic("txn: create/invalid length mismatch")
 	}
-	bs := vec.NewBitSet(len(create))
-	for i := range create {
+	n := len(create)
+	bs.Reset(n)
+	var w uint64
+	wi := 0
+	for i := 0; i < n; i++ {
 		if snap.Sees(create[i], invalid[i]) {
-			bs.Set(i)
+			w |= 1 << uint(i&63)
+		}
+		if i&63 == 63 {
+			bs.SetWord(wi, w)
+			wi++
+			w = 0
 		}
 	}
-	return bs
+	if n&63 != 0 {
+		bs.SetWord(wi, w)
+	}
 }

@@ -30,6 +30,69 @@ func NewBitSet(n int) *BitSet {
 // Len reports the logical length of the set in bits.
 func (b *BitSet) Len() int { return b.n }
 
+// Reset resizes the set to n bits, all clear, reusing the backing array when
+// it is large enough. Scan kernels call it to recycle per-worker scratch
+// bitsets without reallocating.
+func (b *BitSet) Reset(n int) {
+	if n < 0 {
+		panic("vec: negative bitset length")
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > cap(b.words) {
+		b.words = make([]uint64, need)
+	} else {
+		b.words = b.words[:need]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// Words reports the number of 64-bit words backing the set.
+func (b *BitSet) Words() int { return len(b.words) }
+
+// Word returns the i-th backing word (bits [64i, 64i+64)).
+func (b *BitSet) Word(i int) uint64 { return b.words[i] }
+
+// SetWord stores the i-th backing word wholesale — the word-at-a-time write
+// path of the vectorized scan kernels. Bits beyond the logical length are
+// masked off.
+func (b *BitSet) SetWord(i int, w uint64) {
+	b.words[i] = w
+	if i == len(b.words)-1 {
+		b.trimTail()
+	}
+}
+
+// CopyFrom makes b a copy of src truncated to n bits, reusing b's backing
+// array. Bits of src at positions >= n are dropped, so Count afterwards
+// reflects only positions inside [0, n) — the row-count contract of
+// restricted scans.
+func (b *BitSet) CopyFrom(src *BitSet, n int) {
+	b.Reset(n)
+	for i := range b.words {
+		if i < len(src.words) {
+			b.words[i] = src.words[i]
+		}
+	}
+	b.trimTail()
+}
+
+// AppendSetBits appends the index of every set bit to dst in ascending
+// order and returns the extended slice — the candidate-row extraction step
+// of the scan kernels, word-at-a-time instead of per-bit callbacks.
+func (b *BitSet) AppendSetBits(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // grow extends the logical length to at least n bits.
 func (b *BitSet) grow(n int) {
 	if n <= b.n {
