@@ -18,12 +18,22 @@
 //	\merge               synchronized delta merge of the transactional tables
 //	\cache               show aggregate cache entries sorted by profit
 //	\stats               dump the observability registry (counters, latencies)
+//	\traces              list flight-recorded query traces (newest first)
+//	\traces <id>         print one trace's span tree and critical path
+//	\traces export <id> <file>
+//	                     write the trace as Chrome trace-event JSON — open
+//	                     the file in ui.perfetto.dev or chrome://tracing
 //	\help                this text
 //	\quit                exit
 //
 // Prefix any SELECT with EXPLAIN ANALYZE to execute it with tracing and
-// print the span tree: cache-lookup verdict, main/delta compensation, and
-// one line per subjoin combination with its prune/pushdown verdict.
+// print the span tree: cache-lookup verdict, main/delta compensation, one
+// line per subjoin combination with its prune/pushdown verdict, and the
+// critical-path / parallel-efficiency decomposition of the execution.
+//
+// The shell runs with the query flight recorder on by default (-traces 64
+// retained traces, -slow marking traces at or above the threshold as slow so
+// they outlive the ring); -traces 0 disables recording.
 //
 // With -debug <addr> the shell serves the observability debug endpoint:
 // /metrics (registry snapshot as JSON) and /debug/cache (entry metrics
@@ -57,6 +67,8 @@ type shell struct {
 	insert func(n int) error
 	// mergeTables are the related transactional tables merged together.
 	mergeTables []string
+	// rec is the query flight recorder behind \traces; nil when disabled.
+	rec *obs.Recorder
 }
 
 func main() {
@@ -67,6 +79,8 @@ func main() {
 		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
+		traces    = flag.Int("traces", obs.DefaultTraceCapacity, "flight-recorder ring size (last n query traces retained for \\traces); 0 disables recording")
+		slow      = flag.Duration("slow", 100*time.Millisecond, "retain traces at or above this latency in the slow-query log even after the ring cycles; 0 disables the slow log")
 	)
 	flag.Parse()
 
@@ -86,7 +100,12 @@ func main() {
 		obs.SetDefaultEvents(obs.NewEventLog(w))
 	}
 
-	sh, err := load(*dataset, *workers)
+	var rec *obs.Recorder
+	if *traces > 0 {
+		rec = obs.NewRecorder(obs.RecorderConfig{Capacity: *traces, SlowThreshold: *slow})
+	}
+
+	sh, err := load(*dataset, *workers, rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
@@ -98,12 +117,12 @@ func main() {
 		defer sampler.Stop()
 		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), func() any {
 			return sh.mgr.EntriesByProfit()
-		}, sampler)
+		}, sampler, rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series\n", addr)
+		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces\n", addr)
 	}
 
 	if *stmt != "" {
@@ -147,7 +166,7 @@ func main() {
 	}
 }
 
-func load(dataset string, workers int) (*shell, error) {
+func load(dataset string, workers int, rec *obs.Recorder) (*shell, error) {
 	switch dataset {
 	case "erp":
 		cfg := workload.DefaultERPConfig()
@@ -158,10 +177,11 @@ func load(dataset string, workers int) (*shell, error) {
 		}
 		return &shell{
 			db:          erp.DB,
-			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{Workers: workers}),
+			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{Workers: workers, Recorder: rec}),
 			strategy:    core.CachedFullPruning,
 			insert:      erp.InsertBusinessObjects,
 			mergeTables: []string{workload.THeader, workload.TItem},
+			rec:         rec,
 		}, nil
 	case "ch":
 		ch, err := workload.BuildCH(workload.DefaultCHConfig())
@@ -170,8 +190,9 @@ func load(dataset string, workers int) (*shell, error) {
 		}
 		return &shell{
 			db:       ch.DB,
-			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{Workers: workers}),
+			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{Workers: workers, Recorder: rec}),
 			strategy: core.CachedFullPruning,
+			rec:      rec,
 			insert: func(n int) error {
 				for i := 0; i < n; i++ {
 					if err := ch.InsertOrder(); err != nil {
@@ -233,6 +254,7 @@ func (sh *shell) runExplainAnalyze(stmt string) error {
 		return err
 	}
 	sp.Render(os.Stdout)
+	obs.Analyze(sp).Render(os.Stdout)
 	fmt.Printf("-- %d group(s) in %s [%s: hit=%v subjoins %d/%d, md-pruned %d, scan-pruned %d, empty-pruned %d, pushdowns %d, rows scanned %d]\n",
 		res.Groups(), info.Total.Round(10*time.Microsecond), info.Strategy, info.CacheHit,
 		info.Stats.Executed, info.Stats.Subjoins, info.Stats.PrunedMD, info.Stats.PrunedScan,
@@ -279,6 +301,9 @@ func (sh *shell) runCommand(cmd string) bool {
 		return true
 	case "\\help":
 		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \stats  \quit
+\traces                     list flight-recorded query traces (newest first)
+\traces <id>                print one trace's span tree and critical path
+\traces export <id> <file>  write the trace as Chrome trace-event JSON (ui.perfetto.dev)
 EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 	case "\\tables":
 		for _, name := range sh.db.TableNames() {
@@ -355,8 +380,79 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			fmt.Printf("  %-28s count=%d mean=%.0fus p50=%dus p99=%dus\n",
 				name, h.Count, h.MeanUS, h.P50US, h.P99US)
 		}
+	case "\\traces":
+		sh.runTraces(fields[1:])
 	default:
 		fmt.Printf("unknown command %s (\\help)\n", fields[0])
 	}
 	return false
+}
+
+// runTraces implements \traces: list retained traces, print one, or export
+// one as a Chrome trace-event file.
+func (sh *shell) runTraces(args []string) {
+	if !sh.rec.Enabled() {
+		fmt.Println("flight recorder disabled (run with -traces <n>)")
+		return
+	}
+	switch {
+	case len(args) == 0:
+		list := sh.rec.List()
+		if len(list) == 0 {
+			fmt.Println("no traces recorded yet — run a query first")
+			return
+		}
+		fmt.Printf("  %4s  %-10s  %6s  %s\n", "id", "duration", "spans", "query")
+		for _, s := range list {
+			slowMark := ""
+			if s.Slow {
+				slowMark = "  SLOW"
+			}
+			fmt.Printf("  %4d  %-10s  %6d  %s%s\n",
+				s.ID, time.Duration(s.DurNS).Round(10*time.Microsecond), s.Spans, s.Name, slowMark)
+		}
+	case args[0] == "export":
+		if len(args) != 3 {
+			fmt.Println("usage: \\traces export <id> <file>")
+			return
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fmt.Printf("bad trace id %q\n", args[1])
+			return
+		}
+		tr, ok := sh.rec.Get(id)
+		if !ok {
+			fmt.Printf("trace %d not retained (\\traces lists the live ids)\n", id)
+			return
+		}
+		f, err := os.Create(args[2])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if err := tr.WriteTraceEvents(f); err != nil {
+			f.Close()
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if err := f.Close(); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("wrote %s — open it in ui.perfetto.dev or chrome://tracing\n", args[2])
+	default:
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			fmt.Printf("usage: \\traces [<id> | export <id> <file>]\n")
+			return
+		}
+		tr, ok := sh.rec.Get(id)
+		if !ok {
+			fmt.Printf("trace %d not retained (\\traces lists the live ids)\n", id)
+			return
+		}
+		tr.Root.Render(os.Stdout)
+		obs.Analyze(tr.Root).Render(os.Stdout)
+	}
 }

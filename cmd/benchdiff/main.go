@@ -60,13 +60,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	d.Render(stdout)
 	switch {
 	case len(d.HardRegressions()) > 0:
-		fmt.Fprintln(stderr, "benchdiff: FAIL: hard regression")
+		fmt.Fprintf(stderr, "benchdiff: FAIL: hard regression (%s)\n", d.ShaPair())
 		return 1
 	case len(d.Regressions()) > 0 && !*warnOnly:
-		fmt.Fprintln(stderr, "benchdiff: FAIL: latency regression beyond threshold")
+		fmt.Fprintf(stderr, "benchdiff: FAIL: latency regression beyond threshold (%s)\n", d.ShaPair())
 		return 1
 	case len(d.Regressions()) > 0:
-		fmt.Fprintln(stderr, "benchdiff: WARN: latency regression beyond threshold (warn-only)")
+		fmt.Fprintf(stderr, "benchdiff: WARN: latency regression beyond threshold (warn-only, %s)\n", d.ShaPair())
 	}
 	return 0
 }

@@ -10,6 +10,9 @@
 //	benchrunner -exp fig7            # one experiment, full scale
 //	benchrunner -exp all -quick      # every experiment, scaled down
 //	benchrunner -exp fig7 -json      # also write BENCH_fig7.json
+//	benchrunner -exp fig7 -trace-out traces/
+//	                                 # export per-point query traces as
+//	                                 # Chrome trace-event JSON (ui.perfetto.dev)
 //	benchrunner -debug :8080 ...     # serve /metrics, /debug/series, pprof
 //	benchrunner -sample 250ms ...    # time-series scrape interval
 //	benchrunner -events events.log   # structured event log ("-" = stderr)
@@ -36,10 +39,18 @@ func main() {
 		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
+		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 	bench.Workers = *workers
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		bench.TraceDir = *traceOut
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -68,7 +79,7 @@ func main() {
 		sampler := obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
 		sampler.Start()
 		defer sampler.Stop()
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler)
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: debug endpoint: %v\n", err)
 			os.Exit(1)
@@ -108,6 +119,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)
+		}
+		if bench.TraceDir != "" {
+			exported := 0
+			for _, ts := range res.Traces {
+				if ts.File != "" {
+					exported++
+				}
+			}
+			if exported > 0 {
+				fmt.Printf("exported %d query trace(s) to %s\n", exported, bench.TraceDir)
+			}
 		}
 	}
 }

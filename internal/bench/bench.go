@@ -54,6 +54,9 @@ type Result struct {
 	// Notes carries observations the paper's text reports alongside the
 	// figure (speedup factors, crossover points).
 	Notes []string `json:"notes,omitempty"`
+	// Traces holds the per-point query traces the experiment captured; they
+	// are surfaced through Report.Traces rather than the result section.
+	Traces []TraceStat `json:"-"`
 }
 
 // Report is the machine-readable bench output: the experiment's series
@@ -71,6 +74,10 @@ type Report struct {
 	Meta RunMeta `json:"meta"`
 	// Metrics is the registry snapshot after the experiment.
 	Metrics obs.Snapshot `json:"metrics"`
+	// Traces lists the per-point query traces captured during the run, each
+	// with its critical-path analysis (and exported trace-event file when
+	// benchrunner ran with -trace-out).
+	Traces []TraceStat `json:"traces,omitempty"`
 }
 
 // RunMeta identifies one bench run: the code version, when and where it
@@ -108,7 +115,7 @@ func CollectMeta() RunMeta {
 
 // Report pairs the result with a metrics snapshot and stamps run metadata.
 func (r *Result) Report(quick bool, snap obs.Snapshot) *Report {
-	return &Report{Result: r, Quick: quick, Meta: CollectMeta(), Metrics: snap}
+	return &Report{Result: r, Quick: quick, Meta: CollectMeta(), Metrics: snap, Traces: r.Traces}
 }
 
 // LoadReport reads a BENCH_<exp>.json file.

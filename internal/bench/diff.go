@@ -180,5 +180,21 @@ func (d *Diff) Render(w io.Writer) {
 		fmt.Fprintf(w, "warning: %s\n", warn)
 	}
 	soft, hard := len(d.Regressions()), len(d.HardRegressions())
-	fmt.Fprintf(w, "%d point(s) compared, %d regression(s), %d hard\n", len(d.Deltas), soft, hard)
+	fmt.Fprintf(w, "%d point(s) compared, %d regression(s), %d hard (%s)\n",
+		len(d.Deltas), soft, hard, d.ShaPair())
+}
+
+// ShaPair names the compared commits, e.g. "baseline 0f3e7b7e4a2c vs
+// candidate f3df5f9b11d0" — the identification CI perf-gate failures carry.
+func (d *Diff) ShaPair() string {
+	return fmt.Sprintf("baseline %s vs candidate %s", shortSHA(d.Base.GitSHA), shortSHA(d.New.GitSHA))
+}
+
+// shortSHA abbreviates a full commit hash to the conventional 12 characters;
+// non-hash values ("unknown") pass through unchanged.
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
 }

@@ -82,6 +82,14 @@ func RunFig7(quick bool) (*Result, error) {
 				return nil, err
 			}
 			series[si].Points = append(series[si].Points, Point{X: float64(target), Y: ms})
+			// Profile the point after the timed reps: one traced run whose
+			// critical-path decomposition goes into the report (and whose
+			// span tree is exported as a Perfetto trace with -trace-out).
+			ts, err := captureTrace(mgr, q, s, res.ID, fmt.Sprintf("%s-%d", s, target))
+			if err != nil {
+				return nil, err
+			}
+			res.Traces = append(res.Traces, *ts)
 			if s == core.CachedFullPruning {
 				lastStats = fmt.Sprintf("full pruning at %d delta rows: %d/%d subjoins executed (%d MD-pruned, %d empty-pruned, %d pushdowns)",
 					target, info.Stats.Executed, info.Stats.Subjoins,

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aggcache/internal/core"
+	"aggcache/internal/obs"
+	"aggcache/internal/query"
+)
+
+// TraceDir, when non-empty, makes experiments export their captured query
+// traces as Chrome trace-event JSON files (<experiment>-<label>.json) into
+// the directory — open them in ui.perfetto.dev. cmd/benchrunner sets it from
+// -trace-out. Capture of the critical-path analysis itself is unconditional:
+// every point's decomposition lands in the bench JSON either way.
+var TraceDir string
+
+// TraceStat is one captured query trace in the bench report: the point it
+// profiles, the exported trace-event file (when TraceDir was set), and the
+// critical-path decomposition of the execution.
+type TraceStat struct {
+	// Experiment is the experiment ID the trace belongs to.
+	Experiment string `json:"experiment"`
+	// Label names the profiled point, e.g. "cached-full-pruning-3000".
+	Label string `json:"label"`
+	// File is the exported trace-event JSON path, empty when export was off.
+	File string `json:"file,omitempty"`
+	// Analysis is the critical path, per-worker busy time, and parallel
+	// efficiency of the captured execution.
+	Analysis *obs.Analysis `json:"analysis"`
+}
+
+// captureTrace runs one traced execution of q under strat and returns its
+// trace stat; with TraceDir set the span tree is additionally exported as a
+// trace-event file. The traced run happens after the timed repetitions, so
+// it never perturbs the measured latencies.
+func captureTrace(mgr *core.Manager, q *query.Query, strat core.Strategy, id, label string) (*TraceStat, error) {
+	_, _, sp, err := mgr.ExplainAnalyze(q, strat)
+	if err != nil {
+		return nil, err
+	}
+	st := &TraceStat{Experiment: id, Label: label, Analysis: obs.Analyze(sp)}
+	if TraceDir != "" {
+		path := filepath.Join(TraceDir, fmt.Sprintf("%s-%s.json", id, sanitizeLabel(label)))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := obs.WriteTraceEvents(f, sp); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		st.File = path
+	}
+	return st, nil
+}
+
+// sanitizeLabel makes a point label safe as a filename component.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aggcache/internal/core"
+	"aggcache/internal/obs"
+)
+
+// TestFig7TraceCapture is the bench-side acceptance check: a fig7 run with
+// Workers>=2 and trace export on captures one critical-path analysis per
+// strategy/point, reports parallelism for the pool-executed strategies, and
+// writes valid Chrome trace-event JSON (monotonic ts, named worker lanes,
+// queue slices separated from run slices by category).
+func TestFig7TraceCapture(t *testing.T) {
+	oldWorkers, oldDir := Workers, TraceDir
+	Workers, TraceDir = 2, t.TempDir()
+	defer func() { Workers, TraceDir = oldWorkers, oldDir }()
+
+	r, err := RunFig7(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTraces := len(core.Strategies()) * len(fig7Quick().deltaItems)
+	if len(r.Traces) != wantTraces {
+		t.Fatalf("captured %d traces, want %d (one per strategy x point)", len(r.Traces), wantTraces)
+	}
+	rep := r.Report(true, obs.Snapshot{})
+	if len(rep.Traces) != wantTraces {
+		t.Fatalf("report carries %d traces, want %d", len(rep.Traces), wantTraces)
+	}
+
+	var uncached *TraceStat
+	for i := range r.Traces {
+		ts := &r.Traces[i]
+		if ts.Experiment != "fig7" || ts.Analysis == nil || ts.Analysis.WallUS <= 0 {
+			t.Fatalf("trace stat %+v incomplete", ts)
+		}
+		if ts.File == "" {
+			t.Fatalf("trace %s not exported despite TraceDir", ts.Label)
+		}
+		if uncached == nil && strings.HasPrefix(ts.Label, core.Uncached.String()) {
+			uncached = ts
+		}
+	}
+	if uncached == nil {
+		t.Fatal("no uncached trace captured")
+	}
+	// Uncached runs all 2^t subjoins through the 2-worker pool: the analysis
+	// must see the declared pool and nonzero parallel work.
+	if uncached.Analysis.Workers != 2 || uncached.Analysis.WorkUS <= 0 || uncached.Analysis.Efficiency <= 0 {
+		t.Fatalf("uncached analysis = %+v, want 2 workers with work", uncached.Analysis)
+	}
+	if len(uncached.Analysis.Path) == 0 {
+		t.Fatal("uncached analysis has no critical path")
+	}
+
+	// The exported file is valid trace-event JSON with named lanes and
+	// monotonic slice timestamps.
+	b, err := os.ReadFile(uncached.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		t.Fatalf("exported trace is not trace-event JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	last := int64(-1)
+	sawRun := false
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			if ev.TS < last {
+				t.Fatalf("ts not monotonic: %d after %d", ev.TS, last)
+			}
+			last = ev.TS
+			switch ev.Cat {
+			case "span":
+				sawRun = true
+			case "queue":
+				if ev.Name != "queue" {
+					t.Fatalf("queue slice named %q", ev.Name)
+				}
+			default:
+				t.Fatalf("slice with unexpected category %q", ev.Cat)
+			}
+		}
+	}
+	workerLanes := 0
+	for name := range lanes {
+		if strings.HasPrefix(name, "worker ") {
+			workerLanes++
+		}
+	}
+	// Job stealing means a single worker can win every job of a small batch,
+	// so require the coordinator plus at least one named worker lane.
+	if !lanes["coordinator"] || workerLanes == 0 {
+		t.Fatalf("lanes = %v, want coordinator plus named worker lanes", lanes)
+	}
+	if !sawRun {
+		t.Fatal("no run slices exported")
+	}
+	if filepath.Dir(uncached.File) != TraceDir {
+		t.Fatalf("trace written to %s, want %s", uncached.File, TraceDir)
+	}
+}

@@ -44,6 +44,11 @@ type Config struct {
 	// decisions) are emitted to; nil uses the process-wide obs.Events(),
 	// which is the disabled no-op stream unless a binary installed one.
 	Events *obs.EventLog
+	// Recorder is the query flight recorder: when non-nil, every Execute and
+	// ExplainAnalyze call is traced and its completed span tree retained for
+	// /debug/traces and \traces. Nil (the default) disables flight recording;
+	// the per-query hook then costs one nil check and no allocations.
+	Recorder *obs.Recorder
 }
 
 // ExecInfo reports how one query execution was served.
@@ -82,6 +87,7 @@ type Manager struct {
 	bytes   uint64
 	obs     *managerObs
 	ev      *obs.EventLog
+	rec     *obs.Recorder
 	// Evictions counts evicted entries (for introspection and tests).
 	Evictions int64
 }
@@ -106,6 +112,7 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		entries: make(map[string]*Entry),
 		obs:     newManagerObs(cfg.Metrics),
 		ev:      ev,
+		rec:     cfg.Recorder,
 	}
 	m.exec.ParallelSubjoins = m.obs.parallelSubjoins
 	w := cfg.Workers
@@ -151,10 +158,23 @@ func (m *Manager) Clear() {
 // Execute runs an aggregate query block with the chosen strategy under the
 // database read lock and the current read snapshot, following the query
 // processing flow of paper Fig. 3.
+// When the manager has a flight recorder (Config.Recorder), the execution
+// is traced and the completed span tree retained; without one the span stays
+// nil and the execution path carries no tracing work at all.
 func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
-	return m.execute(q, m.db.Txns().ReadSnapshot(), strat, nil)
+	var sp *obs.Span
+	if m.rec.Enabled() {
+		sp = obs.StartSpan("execute " + q.Fingerprint())
+		sp.Attr("strategy", strat.String())
+	}
+	res, info, err := m.execute(q, m.db.Txns().ReadSnapshot(), strat, sp)
+	if sp != nil {
+		sp.End()
+		m.rec.Record(sp)
+	}
+	return res, info, err
 }
 
 // ExecuteAt is Execute against an explicit snapshot; the caller must hold
@@ -175,6 +195,7 @@ func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTabl
 	sp.Attr("strategy", strat.String())
 	res, info, err := m.execute(q, m.db.Txns().ReadSnapshot(), strat, sp)
 	sp.End()
+	m.rec.Record(sp)
 	return res, info, sp, err
 }
 
@@ -439,6 +460,9 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 				slog.String("query", q.Fingerprint()), slog.String("combo", jobs[i].Combo.String()),
 				slog.Int64("tuples", jst.TuplesJoined))
 		}
+	}
+	if w := m.exec.ParallelWorkers(len(jobs)); w > 0 {
+		sp.AttrInt("workers", int64(w))
 	}
 	return m.exec.ExecuteJobs(q, jobs, snap, out, st, onDone)
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/obs"
+)
+
+// TestFlightRecorderCapturesExecutions: a manager with a recorder retains a
+// trace per Execute/ExplainAnalyze call, flags slow ones, and the retained
+// parallel traces carry worker/queue/run attributes on every subjoin span.
+func TestFlightRecorderCapturesExecutions(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderConfig{Capacity: 8})
+	e := newEnv(t, Config{Workers: 4, Metrics: obs.NewRegistry(), Recorder: rec})
+	e.insertObject(t, 2013, 10, 20, 30)
+	e.insertObject(t, 2014, 5)
+
+	q := joinQuery()
+	if _, _, err := e.mgr.Execute(q, Uncached); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e.mgr.ExplainAnalyze(q, CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	list := rec.List()
+	if len(list) != 2 {
+		t.Fatalf("retained %d traces after 2 executions, want 2", len(list))
+	}
+	tr, ok := rec.Get(1)
+	if !ok {
+		t.Fatal("first trace not retained")
+	}
+	assertParallelPhaseAttrs(t, tr.Root, e.mgr.exec.PoolSize(4))
+}
+
+// assertParallelPhaseAttrs finds the span declaring a pool size ("workers")
+// and checks that every one of its job children records which worker ran it
+// and its queue/run split.
+func assertParallelPhaseAttrs(t *testing.T, root *obs.Span, pool int) {
+	t.Helper()
+	var phases int
+	root.Walk(func(s *obs.Span) {
+		if _, ok := s.GetAttr("workers"); !ok {
+			return
+		}
+		phases++
+		for _, c := range s.Children {
+			w, ok := c.GetAttr("worker")
+			if !ok {
+				t.Errorf("subjoin span %q missing worker attr (attrs %v)", c.Name, c.Attrs)
+				continue
+			}
+			if wid, err := strconv.Atoi(w); err != nil || wid < 0 || wid >= pool {
+				t.Errorf("subjoin span %q worker = %q, pool size %d", c.Name, w, pool)
+			}
+			if _, ok := c.GetAttr("queue_us"); !ok {
+				t.Errorf("subjoin span %q missing queue_us", c.Name)
+			}
+			if _, ok := c.GetAttr("run_us"); !ok {
+				t.Errorf("subjoin span %q missing run_us", c.Name)
+			}
+		}
+	})
+	if phases == 0 {
+		t.Error("no span declared a worker-pool size")
+	}
+}
+
+// TestDebugMuxUnderConcurrentQueryLoad scrapes the full debug surface —
+// /debug/traces (list, fetch, trace-event export), /debug/series, and
+// /metrics in Prometheus format — while queries execute on a multi-worker
+// pool. Under -race this audits the recorder and registry locking end to
+// end; it also asserts the acceptance criterion that captured parallel
+// subjoin spans carry worker/queue/run attributes.
+func TestDebugMuxUnderConcurrentQueryLoad(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderConfig{Capacity: 16, SlowThreshold: time.Nanosecond, SlowCapacity: 8})
+	reg := obs.NewRegistry()
+	e := newEnv(t, Config{Workers: 4, Metrics: reg, Recorder: rec})
+	for i := 0; i < 8; i++ {
+		e.insertObject(t, 2013+int64(i%2), 10, 20, 30)
+	}
+
+	sampler := obs.NewSampler(reg, obs.SamplerConfig{Interval: time.Hour, Capacity: 8})
+	sampler.SampleOnce()
+	srv := httptest.NewServer(obs.DebugMux(reg, func() any { return e.mgr.EntriesByProfit() }, sampler, rec))
+	defer srv.Close()
+
+	const iterations = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := joinQuery()
+			for i := 0; i < iterations; i++ {
+				strat := Uncached
+				if (g+i)%2 == 0 {
+					strat = CachedFullPruning
+				}
+				if _, _, err := e.mgr.Execute(q, strat); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := srv.Client()
+		get := func(path string) ([]byte, int, error) {
+			resp, err := client.Get(srv.URL + path)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			return b, resp.StatusCode, err
+		}
+		for i := 0; i < iterations; i++ {
+			body, code, err := get("/debug/traces")
+			if err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("/debug/traces: %d %v", code, err)
+				return
+			}
+			var sums []obs.TraceSummary
+			if err := json.Unmarshal(body, &sums); err != nil {
+				errs <- fmt.Errorf("/debug/traces payload: %v", err)
+				return
+			}
+			for _, s := range sums[:min(len(sums), 2)] {
+				id := strconv.FormatInt(s.ID, 10)
+				// Fetching can 404 if the ring cycles between list and get.
+				if _, code, err := get("/debug/traces?id=" + id); err != nil || (code != http.StatusOK && code != http.StatusNotFound) {
+					errs <- fmt.Errorf("fetch trace %s: %d %v", id, code, err)
+					return
+				}
+				if body, code, err := get("/debug/traces?id=" + id + "&format=trace_event"); err != nil {
+					errs <- err
+					return
+				} else if code == http.StatusOK && !json.Valid(body) {
+					errs <- fmt.Errorf("trace %s exported invalid JSON", id)
+					return
+				}
+			}
+			if _, code, err := get("/debug/series"); err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("/debug/series: %d %v", code, err)
+				return
+			}
+			if body, code, err := get("/metrics?format=prom"); err != nil || code != http.StatusOK || len(body) == 0 {
+				errs <- fmt.Errorf("/metrics?format=prom: %d %v", code, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every retained uncached trace ran its subjoins on the pool; each must
+	// carry the full worker/queue/run annotation.
+	checked := 0
+	for _, s := range rec.List() {
+		tr, ok := rec.Get(s.ID)
+		if !ok {
+			continue
+		}
+		uncached := false
+		if v, _ := tr.Root.GetAttr("strategy"); v == Uncached.String() {
+			uncached = true
+		}
+		if !uncached {
+			continue
+		}
+		assertParallelPhaseAttrs(t, tr.Root, e.mgr.exec.PoolSize(4))
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no uncached parallel traces retained")
+	}
+}

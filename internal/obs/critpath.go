@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file analyzes the span tree of a (possibly parallel) query
+// execution: which chain of spans determined the wall clock (the critical
+// path), how busy each pool worker was, and how much of the theoretical
+// parallel speedup the execution realized. It reproduces, from a live
+// trace, the per-query latency decomposition the paper's Fig. 7–9
+// discussion derives from aggregate measurements.
+
+// PathStep is one span on the critical path.
+type PathStep struct {
+	Name    string `json:"name"`
+	DurUS   int64  `json:"dur_us"`
+	QueueUS int64  `json:"queue_us,omitempty"`
+	// Worker is the pool worker that ran the span, -1 for spans on the
+	// coordinating goroutine.
+	Worker int `json:"worker"`
+	// Depth is the span's depth in the tree (root = 0) — the renderer's
+	// indentation level.
+	Depth int `json:"depth"`
+}
+
+// LaneBusy is one worker's total execution time across the trace.
+type LaneBusy struct {
+	Worker int   `json:"worker"`
+	BusyUS int64 `json:"busy_us"`
+	Spans  int   `json:"spans"`
+}
+
+// Analysis is the critical-path decomposition of one trace. It marshals to
+// JSON for the bench reports and renders as text at the bottom of EXPLAIN
+// ANALYZE.
+type Analysis struct {
+	// WallUS is the root span's wall clock.
+	WallUS int64 `json:"wall_us"`
+	// Path is the critical path: from the root, always descending into the
+	// child that finished last — the chain that bounded the wall clock.
+	Path []PathStep `json:"critical_path"`
+	// Workers is the worker-pool size of the execution's parallel phase
+	// (the "workers" span attribute), or the number of distinct workers
+	// observed when no phase declared a pool size.
+	Workers int `json:"workers"`
+	// Busy lists per-worker execution time, ascending by worker id.
+	Busy []LaneBusy `json:"worker_busy,omitempty"`
+	// WorkUS is the summed execution time of all worker-run spans — the
+	// numerator of Efficiency.
+	WorkUS int64 `json:"work_us"`
+	// QueueUS is the summed worker-pool queueing delay across worker-run
+	// spans — time jobs spent waiting behind busy workers.
+	QueueUS int64 `json:"queue_us"`
+	// Efficiency is WorkUS / (WallUS x Workers): 1.0 means every worker
+	// was busy for the whole wall clock; 0 when nothing ran on workers.
+	Efficiency float64 `json:"parallel_efficiency"`
+}
+
+// spanWorker parses the span's "worker" attribute; -1 when absent.
+func spanWorker(s *Span) int {
+	if v, ok := s.GetAttr("worker"); ok {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return -1
+}
+
+// spanEnd is when the span finished executing.
+func spanEnd(s *Span) time.Time { return s.start.Add(s.Dur) }
+
+// Analyze decomposes a completed trace. A nil root yields a nil analysis
+// (Render on nil is a no-op), so untraced paths need no guards.
+func Analyze(root *Span) *Analysis {
+	if root == nil {
+		return nil
+	}
+	a := &Analysis{WallUS: root.Dur.Microseconds()}
+
+	// Worker busy time and pool size, across the whole tree.
+	busy := map[int]*LaneBusy{}
+	root.Walk(func(s *Span) {
+		if v, ok := s.GetAttr("workers"); ok {
+			if n, err := strconv.Atoi(v); err == nil && n > a.Workers {
+				a.Workers = n
+			}
+		}
+		w := spanWorker(s)
+		if w < 0 {
+			return
+		}
+		lb, ok := busy[w]
+		if !ok {
+			lb = &LaneBusy{Worker: w}
+			busy[w] = lb
+		}
+		lb.BusyUS += s.Dur.Microseconds()
+		lb.Spans++
+		a.WorkUS += s.Dur.Microseconds()
+		a.QueueUS += s.QueueDur().Microseconds()
+	})
+	for _, lb := range busy {
+		a.Busy = append(a.Busy, *lb)
+	}
+	sort.Slice(a.Busy, func(i, j int) bool { return a.Busy[i].Worker < a.Busy[j].Worker })
+	if a.Workers < len(busy) {
+		a.Workers = len(busy)
+	}
+	if a.WallUS > 0 && a.Workers > 0 {
+		a.Efficiency = float64(a.WorkUS) / (float64(a.WallUS) * float64(a.Workers))
+	}
+
+	// Critical path: descend into the child that finished last until a
+	// leaf. Children whose clocks never ran (zero start) are skipped.
+	for s, depth := root, 0; s != nil; depth++ {
+		a.Path = append(a.Path, PathStep{
+			Name:    s.Name,
+			DurUS:   s.Dur.Microseconds(),
+			QueueUS: s.QueueDur().Microseconds(),
+			Worker:  spanWorker(s),
+			Depth:   depth,
+		})
+		var next *Span
+		for _, c := range s.Children {
+			if c.start.IsZero() {
+				continue
+			}
+			if next == nil || spanEnd(c).After(spanEnd(next)) {
+				next = c
+			}
+		}
+		s = next
+	}
+	return a
+}
+
+// Render writes the analysis as the text block EXPLAIN ANALYZE appends
+// under the span tree. A nil analysis renders nothing.
+func (a *Analysis) Render(w io.Writer) {
+	if a == nil {
+		return
+	}
+	fmt.Fprintln(w, "critical path:")
+	for i, st := range a.Path {
+		indent := ""
+		for d := 0; d < st.Depth; d++ {
+			indent += "  "
+		}
+		marker := ""
+		if i > 0 {
+			marker = "→ "
+		}
+		line := fmt.Sprintf("  %s%s%s  %s", indent, marker, st.Name, formatDur(time.Duration(st.DurUS)*time.Microsecond))
+		if st.Worker >= 0 {
+			line += fmt.Sprintf("  (worker %d", st.Worker)
+			if st.QueueUS > 0 {
+				line += fmt.Sprintf(", queued %s", formatDur(time.Duration(st.QueueUS)*time.Microsecond))
+			}
+			line += ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if a.Workers > 0 && len(a.Busy) > 0 {
+		fmt.Fprintf(w, "workers: %d, per-worker busy:", a.Workers)
+		for _, lb := range a.Busy {
+			fmt.Fprintf(w, " w%d=%s", lb.Worker, formatDur(time.Duration(lb.BusyUS)*time.Microsecond))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "parallel efficiency: %.2f (work %s, queue %s, over wall %s x %d workers)\n",
+			a.Efficiency,
+			formatDur(time.Duration(a.WorkUS)*time.Microsecond),
+			formatDur(time.Duration(a.QueueUS)*time.Microsecond),
+			formatDur(time.Duration(a.WallUS)*time.Microsecond), a.Workers)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAnalyzeParallelTree checks the analyzer on the synthetic parallel
+// trace from traceevent_test.go: job 1 finishes last (queued 2ms + ran 4ms,
+// ending at t0+8ms vs job 0's t0+7ms), so it is the critical path; work is
+// 6ms+4ms over a 10ms wall on 2 workers.
+func TestAnalyzeParallelTree(t *testing.T) {
+	root := parallelTree()
+	a := Analyze(root)
+	if a == nil {
+		t.Fatal("nil analysis for non-nil root")
+	}
+	if a.WallUS != 10000 {
+		t.Fatalf("wall = %dus, want 10000", a.WallUS)
+	}
+	names := make([]string, len(a.Path))
+	for i, st := range a.Path {
+		names[i] = st.Name
+	}
+	want := []string{"execute q", "delta-compensation", "Header[0].delta x Item[0].main"}
+	if strings.Join(names, "|") != strings.Join(want, "|") {
+		t.Fatalf("critical path = %v, want %v", names, want)
+	}
+	leaf := a.Path[len(a.Path)-1]
+	if leaf.Worker != 1 || leaf.QueueUS != 2000 || leaf.DurUS != 5000 || leaf.Depth != 2 {
+		t.Fatalf("leaf step = %+v", leaf)
+	}
+	if a.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", a.Workers)
+	}
+	if a.WorkUS != 11000 || a.QueueUS != 2000 {
+		t.Fatalf("work = %dus queue = %dus, want 11000/2000", a.WorkUS, a.QueueUS)
+	}
+	if a.Efficiency != 0.55 {
+		t.Fatalf("efficiency = %v, want 0.55 (11ms work / 10ms wall x 2)", a.Efficiency)
+	}
+	if len(a.Busy) != 2 || a.Busy[0] != (LaneBusy{Worker: 0, BusyUS: 6000, Spans: 1}) ||
+		a.Busy[1] != (LaneBusy{Worker: 1, BusyUS: 5000, Spans: 1}) {
+		t.Fatalf("busy = %+v", a.Busy)
+	}
+
+	var sb strings.Builder
+	a.Render(&sb)
+	out := sb.String()
+	for _, wantLine := range []string{
+		"critical path:",
+		"execute q  10.000ms",
+		"→ delta-compensation",
+		"→ Header[0].delta x Item[0].main  5.000ms  (worker 1, queued 2.000ms)",
+		"workers: 2, per-worker busy: w0=6.000ms w1=5.000ms",
+		"parallel efficiency: 0.55 (work 11.000ms, queue 2.000ms, over wall 10.000ms x 2 workers)",
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Fatalf("render missing %q:\n%s", wantLine, out)
+		}
+	}
+}
+
+// TestAnalyzeDeclaredPoolSize: a "workers" attribute on the parallel phase
+// declares the pool size even when fewer workers received jobs, so
+// efficiency does not overcount a mostly idle pool.
+func TestAnalyzeDeclaredPoolSize(t *testing.T) {
+	root := parallelTree()
+	root.Children[0].AttrInt("workers", 4)
+	a := Analyze(root)
+	if a.Workers != 4 {
+		t.Fatalf("workers = %d, want declared 4", a.Workers)
+	}
+	if a.Efficiency != 0.275 {
+		t.Fatalf("efficiency = %v, want 0.275", a.Efficiency)
+	}
+}
+
+// TestAnalyzeSequentialTrace: a trace without worker spans (cache hit, or
+// workers=1 inline execution) still yields a critical path but no
+// parallelism block.
+func TestAnalyzeSequentialTrace(t *testing.T) {
+	root := StartSpan("execute q")
+	lk := root.Child("cache-lookup")
+	lk.Attr("verdict", "hit")
+	lk.End()
+	dc := root.Child("delta-compensation")
+	time.Sleep(time.Millisecond)
+	dc.End()
+	root.End()
+	a := Analyze(root)
+	if len(a.Path) < 2 || a.Path[0].Name != "execute q" {
+		t.Fatalf("path = %+v", a.Path)
+	}
+	if a.Workers != 0 || a.WorkUS != 0 || a.Efficiency != 0 {
+		t.Fatalf("sequential trace reported parallelism: %+v", a)
+	}
+	var sb strings.Builder
+	a.Render(&sb)
+	if strings.Contains(sb.String(), "parallel efficiency") {
+		t.Fatalf("sequential render shows efficiency:\n%s", sb.String())
+	}
+	if Analyze(nil) != nil {
+		t.Fatal("Analyze(nil) must be nil")
+	}
+	var nilA *Analysis
+	nilA.Render(&sb) // must not panic
+}

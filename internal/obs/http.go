@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"reflect"
+	"strconv"
 )
 
 // DebugMux builds the debug HTTP surface:
@@ -14,15 +15,22 @@ import (
 //	/metrics?format=prom  the same snapshot in Prometheus text format
 //	/debug/series       sampler ring buffers as JSON (time series per metric)
 //	/debug/cache        JSON dump produced by cacheDump (entry metrics by profit)
+//	/debug/traces       flight-recorder listing (trace summaries, newest first)
+//	/debug/traces?id=N  one retained trace as span-tree JSON
+//	/debug/traces?id=N&format=trace_event
+//	                    the same trace as Chrome trace-event JSON, ready for
+//	                    ui.perfetto.dev or chrome://tracing
 //	/debug/pprof/...    standard net/http/pprof profiles
 //
 // cacheDump may be nil, in which case /debug/cache reports an empty list;
-// sampler may be nil, in which case /debug/series reports an empty object.
+// sampler may be nil, in which case /debug/series reports an empty object;
+// rec may be nil (flight recording disabled), in which case /debug/traces
+// lists nothing and every fetch is a 404.
 // Every introspection handler is GET-only (405 otherwise) and marked
 // Cache-Control: no-store — the payloads are live state, never cacheable.
 // The mux is plain net/http so the binaries start it with one goroutine
 // and no dependencies.
-func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler) *http.ServeMux {
+func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -65,6 +73,34 @@ func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler) *http.Serve
 		}
 		writeJSON(w, emptyAsList(cacheDump()))
 	})
+	handle("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Query().Get("id")
+		if idStr == "" {
+			list := rec.List()
+			if list == nil {
+				list = []TraceSummary{}
+			}
+			writeJSON(w, list)
+			return
+		}
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		tr, ok := rec.Get(id)
+		if !ok {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "trace_event" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace-`+idStr+`.json"`)
+			_ = tr.WriteTraceEvents(w)
+			return
+		}
+		writeJSON(w, tr)
+	})
 	// pprof keeps its own method semantics (symbol accepts POST), so it is
 	// wired directly rather than through handle.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -92,12 +128,12 @@ func emptyAsList(v any) any {
 // ServeDebug listens on addr and serves the debug mux in a background
 // goroutine. It returns the bound address (useful with a ":0" addr) or an
 // error if the listener cannot be opened.
-func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler) (string, error) {
+func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler)}
+	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler, rec)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -20,8 +20,11 @@ func TestServeDebugEndToEnd(t *testing.T) {
 	sampler := NewSampler(r, SamplerConfig{Interval: time.Hour, Capacity: 8})
 	sampler.SampleOnce()
 
+	rec := NewRecorder(RecorderConfig{Capacity: 4})
+	traceID := rec.Record(parallelTree())
+
 	var dumpResult any = nil // empty cache: a nil slice, the regression case
-	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler)
+	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +94,41 @@ func TestServeDebugEndToEnd(t *testing.T) {
 		t.Fatalf("/debug/cache = %s", body)
 	}
 
+	// /debug/traces: listing, span-tree fetch, trace-event export, and the
+	// not-retained/bad-id error paths.
+	_, body = get("/debug/traces")
+	var sums []TraceSummary
+	if err := json.Unmarshal([]byte(body), &sums); err != nil {
+		t.Fatalf("/debug/traces is not a summary list: %v", err)
+	}
+	if len(sums) != 1 || sums[0].ID != traceID || sums[0].Name != "execute q" {
+		t.Fatalf("/debug/traces = %+v", sums)
+	}
+	_, body = get("/debug/traces?id=1")
+	var tr TraceRecord
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("/debug/traces?id=1 is not a TraceRecord: %v", err)
+	}
+	if tr.ID != traceID || tr.Root == nil || tr.Root.Name != "execute q" {
+		t.Fatalf("fetched trace = %+v", tr)
+	}
+	resp, body = get("/debug/traces?id=1&format=trace_event")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace_event Content-Type = %q", ct)
+	}
+	var tf struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &tf); err != nil || len(tf.TraceEvents) == 0 {
+		t.Fatalf("trace_event export invalid (%v):\n%s", err, body)
+	}
+	if resp, _ := get("/debug/traces?id=99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get("/debug/traces?id=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id status = %d, want 400", resp.StatusCode)
+	}
+
 	// Non-GET is rejected with 405 and an Allow header.
 	presp, err := http.Post("http://"+addr+"/metrics", "application/json", strings.NewReader("{}"))
 	if err != nil {
@@ -112,13 +150,14 @@ func TestServeDebugEndToEnd(t *testing.T) {
 }
 
 func TestDebugMuxNilSamplerAndDump(t *testing.T) {
-	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil)
+	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for path, want := range map[string]string{
 		"/debug/series": "{}",
 		"/debug/cache":  "[]",
+		"/debug/traces": "[]",
 	} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -22,12 +23,65 @@ import (
 // goroutine (Child), then handing each child to exactly one worker, which
 // calls Begin/Attr/End on it alone.
 type Span struct {
-	Name     string        `json:"name"`
-	Dur      time.Duration `json:"dur_ns"`
-	Attrs    []Attr        `json:"attrs,omitempty"`
-	Children []*Span       `json:"children,omitempty"`
+	Name     string
+	Dur      time.Duration
+	Attrs    []Attr
+	Children []*Span
 
-	start time.Time
+	// created is when the span object came into existence (Child /
+	// StartSpan); start is when execution began. They coincide unless Begin
+	// was called — the parallel pipeline pre-creates job spans on the
+	// coordinator and Begins them on a worker, so start−created is the time
+	// the job spent queued behind busy workers.
+	created time.Time
+	start   time.Time
+}
+
+// spanJSON is the locked wire schema of a span, shared by MarshalJSON and
+// UnmarshalJSON so /debug/traces payloads round-trip losslessly and stay
+// stable for external tooling. Every duration field is explicit integer
+// nanoseconds — never a formatted string.
+type spanJSON struct {
+	Name string `json:"name"`
+	// StartUnixNS is the span's execution start, nanoseconds since the Unix
+	// epoch.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// QueueNS is the time between span creation and execution start
+	// (Begin), i.e. worker-pool queueing; omitted when zero.
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	// DurNS is the execution duration in nanoseconds.
+	DurNS    int64   `json:"dur_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+}
+
+// MarshalJSON implements the locked span schema (see spanJSON).
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spanJSON{
+		Name:        s.Name,
+		StartUnixNS: s.start.UnixNano(),
+		QueueNS:     int64(s.QueueDur()),
+		DurNS:       int64(s.Dur),
+		Attrs:       s.Attrs,
+		Children:    s.Children,
+	})
+}
+
+// UnmarshalJSON restores a span — including its start time and queueing
+// delay — from the locked schema, so traces fetched from /debug/traces can
+// be re-exported or analyzed offline.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.Name = j.Name
+	s.Dur = time.Duration(j.DurNS)
+	s.Attrs = j.Attrs
+	s.Children = j.Children
+	s.start = time.Unix(0, j.StartUnixNS)
+	s.created = s.start.Add(-time.Duration(j.QueueNS))
+	return nil
 }
 
 // Attr is one span attribute.
@@ -38,7 +92,8 @@ type Attr struct {
 
 // StartSpan starts a root span — the enabled tracer.
 func StartSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now()}
+	now := time.Now()
+	return &Span{Name: name, created: now, start: now}
 }
 
 // Child starts a nested span. On a nil receiver it returns nil, keeping the
@@ -47,19 +102,42 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, start: time.Now()}
+	now := time.Now()
+	c := &Span{Name: name, created: now, start: now}
 	s.Children = append(s.Children, c)
 	return c
 }
 
-// Begin resets the span's start time to now. Pre-created spans (handed to a
-// worker some time after Child) call it when execution actually starts so
-// the duration measures work, not queueing.
+// Begin resets the span's start time to now; the creation time is kept, so
+// QueueDur reports the gap. Pre-created spans (handed to a worker some time
+// after Child) call it when execution actually starts so the duration
+// measures work, not queueing.
 func (s *Span) Begin() {
 	if s == nil {
 		return
 	}
 	s.start = time.Now()
+}
+
+// QueueDur reports how long the span sat between creation and execution
+// start — the worker-pool queueing delay for pre-created job spans. Zero
+// when Begin was never called (inline execution).
+func (s *Span) QueueDur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if d := s.start.Sub(s.created); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// StartTime reports when the span's execution began.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
 }
 
 // End fixes the span's duration; later Ends are ignored.
@@ -121,10 +199,10 @@ func (s *Span) Render(w io.Writer) {
 	if s == nil {
 		return
 	}
-	s.render(w, "", "", "")
+	s.render(w, "", "")
 }
 
-func (s *Span) render(w io.Writer, branch, childPrefix, _ string) {
+func (s *Span) render(w io.Writer, branch, childPrefix string) {
 	line := branch + s.Name
 	if s.Dur > 0 {
 		line += "  " + formatDur(s.Dur)
@@ -139,9 +217,9 @@ func (s *Span) render(w io.Writer, branch, childPrefix, _ string) {
 	fmt.Fprintln(w, line)
 	for i, c := range s.Children {
 		if i == len(s.Children)-1 {
-			c.render(w, childPrefix+"└─ ", childPrefix+"   ", "")
+			c.render(w, childPrefix+"└─ ", childPrefix+"   ")
 		} else {
-			c.render(w, childPrefix+"├─ ", childPrefix+"│  ", "")
+			c.render(w, childPrefix+"├─ ", childPrefix+"│  ")
 		}
 	}
 }

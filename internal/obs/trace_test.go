@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenTree builds a deterministic span tree: durations are assigned
+// directly (not measured), so the rendered outline and the JSON payload are
+// byte-stable.
+func goldenTree() *Span {
+	root := StartSpan("execute T[Header,Item]:SUM(Price)")
+	root.Attr("strategy", "cached-full-pruning")
+	lookup := root.Child("cache-lookup")
+	lookup.Attr("verdict", "hit")
+	dc := root.Child("delta-compensation")
+	c1 := dc.Child("Header[0].main x Item[0].delta")
+	c1.Attr("verdict", "executed")
+	c1.AttrInt("tuples", 812)
+	c2 := dc.Child("Header[0].delta x Item[0].delta")
+	c2.Attr("verdict", "pruned-empty")
+	// Pin durations: formatting covers the s / ms / us branches.
+	root.Dur = 1204*time.Microsecond + 500*time.Nanosecond
+	lookup.Dur = 700 * time.Nanosecond
+	dc.Dur = 981 * time.Microsecond
+	c1.Dur = 953 * time.Microsecond
+	return root
+}
+
+// TestRenderGolden pins Render's indented-outline output exactly: tree
+// glyphs, duration formatting (ms with three decimals, sub-ms as us with
+// one decimal), attribute ordering (insertion order, space-joined inside
+// brackets), and the zero-duration omission (c2 has no duration suffix).
+func TestRenderGolden(t *testing.T) {
+	var sb strings.Builder
+	goldenTree().Render(&sb)
+	want := strings.Join([]string{
+		"execute T[Header,Item]:SUM(Price)  1.204ms  [strategy=cached-full-pruning]",
+		"├─ cache-lookup  0.7us  [verdict=hit]",
+		"└─ delta-compensation  981.0us",
+		"   ├─ Header[0].main x Item[0].delta  953.0us  [verdict=executed tuples=812]",
+		"   └─ Header[0].delta x Item[0].delta  [verdict=pruned-empty]",
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Fatalf("Render drifted from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderSecondsFormatting covers the >= 1s duration branch the golden
+// tree does not reach.
+func TestRenderSecondsFormatting(t *testing.T) {
+	sp := StartSpan("slow")
+	sp.Dur = 1500 * time.Millisecond
+	var sb strings.Builder
+	sp.Render(&sb)
+	if got := sb.String(); got != "slow  1.500s\n" {
+		t.Fatalf("seconds formatting = %q", got)
+	}
+}
+
+// TestSpanJSONSchema locks the wire schema: Dur marshals as explicit
+// integer nanoseconds under dur_ns, queueing as queue_ns, the start time as
+// start_unix_ns — never Go-formatted durations or RFC 3339 strings.
+func TestSpanJSONSchema(t *testing.T) {
+	sp := StartSpan("combo")
+	sp.created = time.Unix(0, 1_000_000_000)
+	sp.start = sp.created.Add(250 * time.Microsecond) // queued 250us
+	sp.Dur = 1_500_000 * time.Nanosecond
+	sp.AttrInt("tuples", 7)
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"combo","start_unix_ns":1000250000,"queue_ns":250000,"dur_ns":1500000,"attrs":[{"k":"tuples","v":"7"}]}`
+	if string(b) != want {
+		t.Fatalf("span JSON schema drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestSpanJSONRoundTrip: a marshaled tree unmarshals back to an equivalent
+// tree — names, durations, queue delays, start times, attrs, and children —
+// so traces fetched from /debug/traces can be re-exported offline.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	root := goldenTree()
+	// Give one child a queueing delay to round-trip.
+	job := root.Children[1].Children[0]
+	job.start = job.created.Add(42 * time.Microsecond)
+
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	var orig, rt []string
+	root.Walk(func(s *Span) {
+		orig = append(orig, describe(s))
+	})
+	back.Walk(func(s *Span) {
+		rt = append(rt, describe(s))
+	})
+	if len(orig) != len(rt) {
+		t.Fatalf("round-trip changed span count: %d -> %d", len(orig), len(rt))
+	}
+	for i := range orig {
+		if orig[i] != rt[i] {
+			t.Fatalf("span %d round-trip mismatch:\n got %s\nwant %s", i, rt[i], orig[i])
+		}
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-marshal not byte-identical:\n %s\n %s", b, b2)
+	}
+}
+
+func describe(s *Span) string {
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	sb.WriteString("|")
+	sb.WriteString(s.Dur.String())
+	sb.WriteString("|")
+	sb.WriteString(s.QueueDur().String())
+	sb.WriteString("|")
+	sb.WriteString(s.StartTime().UTC().Format(time.RFC3339Nano))
+	for _, a := range s.Attrs {
+		sb.WriteString("|" + a.Key + "=" + a.Value)
+	}
+	return sb.String()
+}
+
+// TestQueueDur: Begin separates queueing from execution; spans never begun
+// report zero queue time, as do nil spans.
+func TestQueueDur(t *testing.T) {
+	sp := StartSpan("job")
+	if sp.QueueDur() != 0 {
+		t.Fatalf("fresh span queue = %v, want 0", sp.QueueDur())
+	}
+	sp.created = time.Now().Add(-3 * time.Millisecond)
+	sp.Begin()
+	if q := sp.QueueDur(); q < 3*time.Millisecond {
+		t.Fatalf("queue dur = %v, want >= 3ms", q)
+	}
+	var nilSp *Span
+	if nilSp.QueueDur() != 0 || !nilSp.StartTime().IsZero() {
+		t.Fatal("nil span must report zero queue and start")
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders a span tree in the Chrome trace-event JSON format —
+// the interchange format of chrome://tracing and https://ui.perfetto.dev —
+// so a recorded query trace opens directly in the Perfetto timeline UI.
+//
+// Mapping:
+//
+//   - Every span becomes one complete slice ("ph":"X") with microsecond
+//     ts/dur relative to the trace root's start.
+//   - Lanes (tid) model execution contexts, not OS threads: lane 0 is the
+//     coordinating goroutine; a span carrying a "worker" attribute (set by
+//     the parallel subjoin pipeline) moves to lane worker+1, and its
+//     descendants inherit the lane. Lane names are emitted as thread_name
+//     metadata ("M") events.
+//   - A span that waited in the worker-pool queue (QueueDur > 0)
+//     additionally emits a "queue" slice in its lane covering
+//     creation→Begin, category "queue", so queue time is visually distinct
+//     from run time.
+//
+// Slices are sorted by ascending ts (ties by lane then longer-first), which
+// both viewers require for correct nesting.
+
+// traceEvent is one entry of the trace-event array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the trace-event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// WriteTraceEvents renders the span tree rooted at root as Chrome
+// trace-event JSON. The output is a single JSON object; write it to a
+// .json file and open it in ui.perfetto.dev or chrome://tracing.
+func WriteTraceEvents(w io.Writer, root *Span) error {
+	if root == nil {
+		return json.NewEncoder(w).Encode(traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"})
+	}
+	origin := root.StartTime()
+	// Queue slices start at span creation, which can precede the root's
+	// start (jobs are planned before the parallel phase span begins is not
+	// possible — children are created after the root — but a Begin-less
+	// child shares its parent's clock). Shift the origin to the earliest
+	// timestamp so every ts is non-negative.
+	root.Walk(func(s *Span) {
+		if c := s.created; !c.IsZero() && c.Before(origin) {
+			origin = c
+		}
+		if st := s.start; !st.IsZero() && st.Before(origin) {
+			origin = st
+		}
+	})
+
+	var events []traceEvent
+	lanes := map[int]bool{}
+	var walk func(s *Span, lane int)
+	walk = func(s *Span, lane int) {
+		if wid, ok := s.GetAttr("worker"); ok {
+			if n, err := strconv.Atoi(wid); err == nil && n >= 0 {
+				lane = n + 1
+			}
+		}
+		lanes[lane] = true
+		ts := s.start.Sub(origin).Microseconds()
+		if q := s.QueueDur(); q > 0 {
+			events = append(events, traceEvent{
+				Name: "queue", Ph: "X", Cat: "queue",
+				TS: s.created.Sub(origin).Microseconds(), Dur: q.Microseconds(),
+				PID: tracePID, TID: lane,
+				Args: map[string]any{"span": s.Name},
+			})
+		}
+		ev := traceEvent{
+			Name: s.Name, Ph: "X", Cat: "span",
+			TS: ts, Dur: s.Dur.Microseconds(),
+			PID: tracePID, TID: lane,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+		for _, c := range s.Children {
+			walk(c, lane)
+		}
+	}
+	walk(root, 0)
+
+	// Both viewers require slices sorted by ascending ts; within a tie the
+	// longer slice must come first so it nests as the parent.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].Dur > events[j].Dur
+	})
+
+	// Lane-name metadata first: lane 0 is the coordinator, lane n+1 is
+	// pool worker n.
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+	meta := make([]traceEvent, 0, len(laneIDs)+1)
+	meta = append(meta, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "aggcache"},
+	})
+	for _, l := range laneIDs {
+		name := "coordinator"
+		if l > 0 {
+			name = "worker " + strconv.Itoa(l-1)
+		}
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: l,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"})
+}
+
+// WriteTraceEvents renders the record's span tree in Chrome trace-event
+// format (see the package-level WriteTraceEvents).
+func (rec *TraceRecord) WriteTraceEvents(w io.Writer) error {
+	if rec == nil {
+		return WriteTraceEvents(w, nil)
+	}
+	return WriteTraceEvents(w, rec.Root)
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// parallelTree builds a deterministic tree shaped like a parallel
+// delta-compensation: two subjoin jobs queued on the coordinator, begun on
+// workers 0 and 1, one of them with measurable queue time.
+func parallelTree() *Span {
+	t0 := time.Unix(100, 0)
+	root := &Span{Name: "execute q", created: t0, start: t0, Dur: 10 * time.Millisecond}
+	dc := &Span{Name: "delta-compensation", created: t0.Add(time.Millisecond), start: t0.Add(time.Millisecond), Dur: 8 * time.Millisecond}
+	root.Children = append(root.Children, dc)
+	j0 := &Span{
+		Name:    "Header[0].main x Item[0].delta",
+		created: t0.Add(time.Millisecond),
+		start:   t0.Add(time.Millisecond), // ran immediately: no queue slice
+		Dur:     6 * time.Millisecond,
+	}
+	j0.AttrInt("worker", 0)
+	j0.AttrInt("queue_us", 0)
+	j0.AttrInt("run_us", 6000)
+	scan := &Span{Name: "scan Header[0].main", created: j0.start.Add(time.Millisecond), start: j0.start.Add(time.Millisecond), Dur: 2 * time.Millisecond}
+	j0.Children = append(j0.Children, scan)
+	j1 := &Span{
+		Name:    "Header[0].delta x Item[0].main",
+		created: t0.Add(time.Millisecond),
+		start:   t0.Add(3 * time.Millisecond), // queued 2ms behind j0
+		Dur:     5 * time.Millisecond,         // ends at t0+8ms, after j0's t0+7ms
+	}
+	j1.AttrInt("worker", 1)
+	j1.AttrInt("queue_us", 2000)
+	j1.AttrInt("run_us", 5000)
+	dc.Children = append(dc.Children, j0, j1)
+	return root
+}
+
+func exportTree(t *testing.T, root *Span) traceFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf.String())
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	return tf
+}
+
+// TestWriteTraceEvents is the acceptance-criteria validation of the
+// exporter on a parallel trace: parseable trace-event JSON, monotonic
+// non-negative ts, one named lane per worker plus the coordinator, and
+// queue slices distinct from run slices.
+func TestWriteTraceEvents(t *testing.T) {
+	tf := exportTree(t, parallelTree())
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+
+	// Lane metadata: coordinator + one lane per worker, each named.
+	laneNames := map[int]string{}
+	var slices []traceEvent
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				laneNames[ev.TID] = ev.Args["name"].(string)
+			}
+		case "X":
+			slices = append(slices, ev)
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	want := map[int]string{0: "coordinator", 1: "worker 0", 2: "worker 1"}
+	for tid, name := range want {
+		if laneNames[tid] != name {
+			t.Fatalf("lane %d named %q, want %q (all: %v)", tid, laneNames[tid], name, laneNames)
+		}
+	}
+
+	// ts must be monotonic (file order) and non-negative.
+	last := int64(-1)
+	for _, ev := range slices {
+		if ev.TS < 0 {
+			t.Fatalf("negative ts: %+v", ev)
+		}
+		if ev.TS < last {
+			t.Fatalf("ts not monotonic: %d after %d (%+v)", ev.TS, last, ev)
+		}
+		last = ev.TS
+	}
+
+	// Queue slices: exactly one (job 1 queued 2ms), in job 1's lane,
+	// category "queue", covering creation->start and therefore ending
+	// exactly where the run slice begins.
+	var queues, runs []traceEvent
+	for _, ev := range slices {
+		if ev.Cat == "queue" {
+			queues = append(queues, ev)
+		} else {
+			runs = append(runs, ev)
+		}
+	}
+	if len(queues) != 1 {
+		t.Fatalf("queue slices = %d, want 1: %+v", len(queues), queues)
+	}
+	q := queues[0]
+	if q.TID != 2 || q.TS != 1000 || q.Dur != 2000 {
+		t.Fatalf("queue slice = %+v, want tid=2 ts=1000 dur=2000", q)
+	}
+	var j1 *traceEvent
+	for i, ev := range runs {
+		if ev.TID == 2 && ev.Cat == "span" {
+			j1 = &runs[i]
+			break
+		}
+	}
+	if j1 == nil {
+		t.Fatal("worker-1 run slice missing")
+	}
+	if j1.TS != q.TS+q.Dur {
+		t.Fatalf("run slice starts at %d, queue ends at %d — must be contiguous", j1.TS, q.TS+q.Dur)
+	}
+	if j1.Args["queue_us"] != "2000" || j1.Args["run_us"] != "5000" || j1.Args["worker"] != "1" {
+		t.Fatalf("run slice args = %v", j1.Args)
+	}
+
+	// Descendants inherit the worker lane: the scan child of job 0 renders
+	// in lane 1, nested inside its parent's interval.
+	var scan *traceEvent
+	for i, ev := range runs {
+		if ev.Name == "scan Header[0].main" {
+			scan = &runs[i]
+		}
+	}
+	if scan == nil || scan.TID != 1 {
+		t.Fatalf("scan slice = %+v, want lane 1", scan)
+	}
+
+	// The root slice spans the whole trace on the coordinator lane.
+	if root := runs[0]; root.Name != "execute q" || root.TID != 0 || root.TS != 0 || root.Dur != 10000 {
+		t.Fatalf("root slice = %+v", runs[0])
+	}
+}
+
+// TestWriteTraceEventsRoundTrippedSpan: a span tree that went through the
+// JSON schema (as /debug/traces serves it) exports identically — offline
+// export works from fetched traces.
+func TestWriteTraceEventsRoundTrippedSpan(t *testing.T) {
+	root := parallelTree()
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	var direct, viaJSON bytes.Buffer
+	if err := WriteTraceEvents(&direct, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEvents(&viaJSON, &back); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != viaJSON.String() {
+		t.Fatalf("export differs after JSON round-trip:\n%s\nvs\n%s", direct.String(), viaJSON.String())
+	}
+}
+
+// TestWriteTraceEventsNil: a nil root still writes a valid, empty trace
+// file.
+func TestWriteTraceEventsNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Fatalf("nil root produced events: %+v", tf.TraceEvents)
+	}
+	var rec *TraceRecord
+	buf.Reset()
+	if err := rec.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

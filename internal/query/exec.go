@@ -389,6 +389,9 @@ func (e *Executor) ExecuteAllSpan(q *Query, snap txn.Snapshot, sp *obs.Span) (*A
 		st.Subjoins++
 		jobs[i] = ComboJob{Combo: combo, Span: sp.Child(combo.String())}
 	}
+	if w := e.ParallelWorkers(len(jobs)); w > 0 {
+		sp.AttrInt("workers", int64(w))
+	}
 	if err := e.ExecuteJobs(q, jobs, snap, out, &st, nil); err != nil {
 		return nil, st, err
 	}

@@ -47,6 +47,21 @@ func (e *Executor) PoolSize(n int) int {
 	return w
 }
 
+// ParallelWorkers reports the pool size ExecuteJobs will use for a batch of
+// n jobs, or 0 when the batch runs inline on the calling goroutine. Callers
+// record it as the "workers" attribute on the parallel phase's span so the
+// critical-path analyzer knows the pool size even when fewer workers ended
+// up receiving jobs.
+func (e *Executor) ParallelWorkers(n int) int {
+	if n < 2 {
+		return 0
+	}
+	if w := e.PoolSize(n); w > 1 {
+		return w
+	}
+	return 0
+}
+
 // ExecuteJobs evaluates a batch of subjoin jobs and folds their results into
 // out and st. Jobs are independent — each accumulates into a private
 // AggTable with private Stats — so the pool may run them in any order on up
@@ -71,7 +86,7 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 		for i := range jobs {
 			sub := NewAggTable(q.Aggs)
 			var jst Stats
-			err := e.runJob(scr, q, &jobs[i], snap, sub, &jst)
+			err := e.runJob(scr, q, &jobs[i], snap, sub, &jst, -1)
 			st.Add(jst)
 			if err != nil {
 				return err
@@ -92,9 +107,9 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 	results := make([]jobResult, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for g := e.PoolSize(len(jobs)); g > 0; g-- {
+	for g := 0; g < e.PoolSize(len(jobs)); g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			scr := getScratch()
 			defer putScratch(scr)
@@ -105,11 +120,11 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 				}
 				r := &results[i]
 				sub := NewAggTable(q.Aggs)
-				r.err = e.runJob(scr, q, &jobs[i], snap, sub, &r.st)
+				r.err = e.runJob(scr, q, &jobs[i], snap, sub, &r.st, worker)
 				r.sub = sub
 				e.ParallelSubjoins.Inc()
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	for i := range results {
@@ -125,9 +140,20 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 	return nil
 }
 
-func (e *Executor) runJob(scr *execScratch, q *Query, job *ComboJob, snap txn.Snapshot, sub *AggTable, jst *Stats) error {
+// runJob executes one job on the given pool worker (-1 for inline execution
+// on the coordinator). On traced parallel runs the span records which worker
+// ran the job and its queue/run split: queue_us is the time the job waited
+// in the pool behind busy workers (creation to Begin), run_us its actual
+// execution time. The trace-event exporter and the critical-path analyzer
+// both key off these attributes.
+func (e *Executor) runJob(scr *execScratch, q *Query, job *ComboJob, snap txn.Snapshot, sub *AggTable, jst *Stats, worker int) error {
 	job.Span.Begin()
 	err := e.executeCombo(scr, q, job.Combo, snap, job.Extra, job.Restrict, sub, jst, job.Span)
 	job.Span.End()
+	if worker >= 0 && job.Span != nil {
+		job.Span.AttrInt("worker", int64(worker))
+		job.Span.AttrInt("queue_us", job.Span.QueueDur().Microseconds())
+		job.Span.AttrInt("run_us", job.Span.Dur.Microseconds())
+	}
 	return err
 }

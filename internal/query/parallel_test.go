@@ -298,3 +298,59 @@ func BenchmarkCandidateRows(b *testing.B) {
 	}
 	_ = fmt.Sprintf("%d", len(dst))
 }
+
+// Traced parallel execution must annotate every subjoin span with the pool
+// worker that ran it and its queue/run time split, and declare the pool size
+// on the parent span; the sequential fallback leaves spans unannotated.
+func TestExecuteAllSpanWorkerAttrs(t *testing.T) {
+	db := buildERP(t)
+	seedERP(t, db)
+	snap := db.Txns().ReadSnapshot()
+	q := listing1()
+
+	ex := &Executor{DB: db, Workers: 4}
+	sp := obs.StartSpan("execute-all")
+	if _, st, err := ex.ExecuteAllSpan(q, snap, sp); err != nil {
+		t.Fatal(err)
+	} else if st.Subjoins == 0 {
+		t.Fatal("no subjoins planned")
+	}
+	sp.End()
+	if v, ok := sp.GetAttr("workers"); !ok || v != fmt.Sprint(ex.PoolSize(len(sp.Children))) {
+		t.Fatalf("parent workers attr = %q, %v", v, ok)
+	}
+	pool := ex.PoolSize(len(sp.Children))
+	for _, c := range sp.Children {
+		w, ok := c.GetAttr("worker")
+		if !ok {
+			t.Fatalf("subjoin span %q missing worker attr (attrs %v)", c.Name, c.Attrs)
+		}
+		var wid int
+		fmt.Sscanf(w, "%d", &wid)
+		if wid < 0 || wid >= pool {
+			t.Fatalf("subjoin span %q worker = %s, pool size %d", c.Name, w, pool)
+		}
+		if _, ok := c.GetAttr("queue_us"); !ok {
+			t.Fatalf("subjoin span %q missing queue_us", c.Name)
+		}
+		run, ok := c.GetAttr("run_us")
+		if !ok || run != fmt.Sprint(c.Dur.Microseconds()) {
+			t.Fatalf("subjoin span %q run_us = %q, want %d", c.Name, run, c.Dur.Microseconds())
+		}
+	}
+
+	seq := &Executor{DB: db, Workers: 1}
+	ssp := obs.StartSpan("execute-all")
+	if _, _, err := seq.ExecuteAllSpan(q, snap, ssp); err != nil {
+		t.Fatal(err)
+	}
+	ssp.End()
+	if _, ok := ssp.GetAttr("workers"); ok {
+		t.Fatal("sequential fallback declared a pool size")
+	}
+	for _, c := range ssp.Children {
+		if _, ok := c.GetAttr("worker"); ok {
+			t.Fatalf("sequential subjoin span %q carries worker attr", c.Name)
+		}
+	}
+}
