@@ -6,8 +6,10 @@
 package aggcache_test
 
 import (
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"aggcache/internal/column"
 	"aggcache/internal/core"
@@ -431,4 +433,139 @@ func BenchmarkFig11HotCold(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkMergeInterference quantifies how much an online delta merge
+// perturbs concurrent cached query latency. Three phases sample per-query
+// p99: truly idle; against a control goroutine burning the same CPU bursts
+// a merge build costs (but taking no locks); and against a background loop
+// of real online merges on the same cadence. The primary metric, p99-ratio,
+// divides the merge phase by the control phase: with matched CPU pressure
+// it isolates the blocking the merge machinery itself adds, which the
+// online design bounds at the O(delta2 + invLog) swap critical section.
+// (On single-core machines the control baseline matters: ANY background
+// CPU burst inflates reader tail latency by the scheduler quantum, merge
+// or not; the idle p99 is reported for reference.)
+func BenchmarkMergeInterference(b *testing.B) {
+	cfg := workload.DefaultERPConfig()
+	cfg.Headers = 2000
+	erp, err := workload.BuildERP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := erp.InsertBusinessObjects(200); err != nil {
+		b.Fatal(err)
+	}
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{})
+	q := erp.ProfitQuery(cfg.BaseYear+cfg.Years-1, cfg.Languages[0])
+	if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+		b.Fatal(err)
+	}
+
+	sample := func(n int) []time.Duration {
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			start := time.Now()
+			if _, _, err := mgr.Execute(q, core.CachedFullPruning); err != nil {
+				b.Fatal(err)
+			}
+			lat[i] = time.Since(start)
+		}
+		return lat
+	}
+	p99 := func(lat []time.Duration) time.Duration {
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[len(sorted)*99/100]
+	}
+	oneMerge := func() (time.Duration, error) {
+		erp.DB.Lock()
+		err := erp.InsertBusinessObject(cfg.ItemsPerHeader)
+		erp.DB.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		err = erp.DB.MergeTablesOnline(false, workload.THeader, workload.TItem)
+		return time.Since(start), err
+	}
+
+	// Calibrate the control load: one full online merge's wall clock. The
+	// loop cadence leaves two bursts of quiet per burst of merge so the
+	// sampled tail reflects collisions, not a saturated merge pipeline.
+	burst, err := oneMerge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gap := 2 * burst
+	if gap < 5*time.Millisecond {
+		gap = 5 * time.Millisecond
+	}
+
+	n := b.N
+	if n < 2000 {
+		n = 2000
+	}
+	b.ResetTimer()
+	idle := sample(n)
+
+	// Control phase: same CPU and allocation bursts on the same cadence,
+	// no locks taken. The allocations matter: a merge build's garbage
+	// triggers GC assists that tax every goroutine, and that pressure must
+	// appear in the baseline for the ratio to isolate lock blocking.
+	stopCtl := make(chan struct{})
+	doneCtl := make(chan struct{})
+	go func() {
+		defer close(doneCtl)
+		var hold [][]byte
+		for {
+			select {
+			case <-stopCtl:
+				return
+			default:
+			}
+			hold = hold[:0]
+			for spin := time.Now(); time.Since(spin) < burst; {
+				hold = append(hold, make([]byte, 1<<14))
+				if len(hold) > 256 {
+					hold = hold[:0]
+				}
+			}
+			time.Sleep(gap)
+		}
+	}()
+	ctl := sample(n)
+	close(stopCtl)
+	<-doneCtl
+
+	// Merge phase: real online merges at the same cadence.
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			if _, err := oneMerge(); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(gap)
+		}
+	}()
+	during := sample(n)
+	close(stop)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+
+	p99Idle, p99Ctl, p99During := p99(idle), p99(ctl), p99(during)
+	b.ReportMetric(float64(p99Idle.Nanoseconds())/1e3, "p99-idle-us")
+	b.ReportMetric(float64(p99Ctl.Nanoseconds())/1e3, "p99-ctl-us")
+	b.ReportMetric(float64(p99During.Nanoseconds())/1e3, "p99-merge-us")
+	b.ReportMetric(float64(p99During)/float64(p99Ctl), "p99-ratio")
 }

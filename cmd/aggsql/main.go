@@ -67,6 +67,9 @@ type shell struct {
 	insert func(n int) error
 	// mergeTables are the related transactional tables merged together.
 	mergeTables []string
+	// onlineMerge routes \merge through the non-blocking online merge
+	// (concurrent queries keep running; only the swap excludes them).
+	onlineMerge bool
 	// rec is the query flight recorder behind \traces; nil when disabled.
 	rec *obs.Recorder
 }
@@ -81,6 +84,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
 		traces    = flag.Int("traces", obs.DefaultTraceCapacity, "flight-recorder ring size (last n query traces retained for \\traces); 0 disables recording")
 		slow      = flag.Duration("slow", 100*time.Millisecond, "retain traces at or above this latency in the slow-query log even after the ring cycles; 0 disables the slow log")
+		online    = flag.Bool("online-merge", false, "run \\merge as a non-blocking online delta merge instead of the offline critical-section merge")
 	)
 	flag.Parse()
 
@@ -110,6 +114,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
 	}
+	sh.onlineMerge = *online
 
 	if *debugAddr != "" {
 		sampler := obs.NewSampler(sh.mgr.Metrics(), obs.SamplerConfig{Interval: *sample})
@@ -350,11 +355,15 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 		fmt.Printf("inserted %d business objects in %s\n", n, time.Since(start).Round(time.Millisecond))
 	case "\\merge":
 		start := time.Now()
-		if err := sh.db.MergeTables(false, sh.mergeTables...); err != nil {
+		merge, kind := sh.db.MergeTables, "merged"
+		if sh.onlineMerge {
+			merge, kind = sh.db.MergeTablesOnline, "online-merged"
+		}
+		if err := merge(false, sh.mergeTables...); err != nil {
 			fmt.Printf("error: %v\n", err)
 			break
 		}
-		fmt.Printf("merged %s in %s\n", strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s %s in %s\n", kind, strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
 	case "\\cache":
 		fmt.Printf("entries=%d totalBytes=%d\n", sh.mgr.Len(), sh.mgr.SizeBytes())
 		for _, e := range sh.mgr.EntriesByProfit() {

@@ -39,11 +39,13 @@ func main() {
 		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
+		online    = flag.Bool("online-merge", false, "run the experiments' delta merges as non-blocking online merges")
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 	bench.Workers = *workers
+	bench.OnlineMerge = *online
 	if *traceOut != "" {
 		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)

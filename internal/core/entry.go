@@ -80,6 +80,11 @@ type Entry struct {
 	// Stale marks a join entry whose main stores saw invalidations that
 	// cannot be compensated incrementally; it is rebuilt on next access.
 	Stale bool
+	// mergedDirty marks an entry that was built or rebuilt while an online
+	// merge was running on one of its tables: its value and visibility
+	// vectors describe the pre-swap store layout, so the merge swap marks
+	// it stale instead of applying the staged maintenance fold.
+	mergedDirty bool
 	// Metrics are the entry's profit metrics.
 	Metrics Metrics
 }

@@ -10,13 +10,24 @@ import (
 
 // mergeHook keeps cache entries consistent across delta-merge operations:
 // the incremental maintenance of the aggregate cache happens during the
-// online merge (paper Sec. 5.2). Before the store swap it settles pending
-// main compensation and folds the merging partition's delta rows into every
-// affected entry; after the swap it re-captures the visibility vector of
-// the new main store.
+// merge (paper Sec. 5.2).
+//
+// For offline merges the BeforeMerge/AfterMerge pair runs under the writer
+// lock: it settles pending main compensation, folds the merging partition's
+// delta into every affected entry, and re-captures visibility baselines.
+//
+// For online merges the hook implements the staged protocol of
+// table.OnlineMergeHook: FoldOnline settles every affected entry to the
+// merge baseline S0 and pre-computes the delta fold into a staged table
+// while queries keep running (the entry is frozen at S0 from prepare to
+// swap — query-time compensation turns transient, see Manager.prepare);
+// SwapOnline applies the staged folds and installs the new main's baseline
+// inside the swap critical section; AbortOnline discards the staging.
 type mergeHook struct {
 	m *Manager
 }
+
+var _ table.OnlineMergeHook = (*mergeHook)(nil)
 
 func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
 	m := h.m
@@ -26,10 +37,18 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		if e.Stale || !queryReferences(e.Query, tbl.Name()) {
 			continue
 		}
+		// An entry frozen at the baseline of an online merge on another
+		// table must not advance past it; folding here would desynchronize
+		// the staged fold. Rebuild instead (rare: offline merge racing an
+		// online one).
+		if m.entryMergeActive(e) {
+			m.markStale(e, "offline merge while an online merge holds the entry frozen")
+			continue
+		}
 		var st query.Stats
 		// Settle invalidations first so the fold starts from a value that
 		// matches the live main rows (joins go stale; rebuilt on access).
-		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st); err != nil {
+		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st, nil, compPersist); err != nil {
 			m.markStale(e, "merge-time main compensation failed: "+err.Error())
 			continue
 		}
@@ -39,7 +58,7 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		}
 		// Fold the merging delta against the other tables' main stores:
 		// exactly the subjoins the new, larger main will cover from now on.
-		combos := mergeFoldCombos(db, e.Query, tbl.Name(), part)
+		combos := m.mergeFoldCombos(e.Query, tbl.Name(), part)
 		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st, nil); err != nil {
 			m.markStale(e, "merge-time delta fold failed: "+err.Error())
 			continue
@@ -77,6 +96,182 @@ func (h *mergeHook) AfterMerge(db *table.DB, tbl *table.Table, part int) {
 	}
 }
 
+// FoldOnline runs during the online merge's build phase under the shared
+// reader lock: it settles every affected entry to the merge baseline S0 and
+// stages the fold of the frozen delta for the swap. Only the settling holds
+// the cache lock; the fold subjoins — the expensive part — run unlocked and
+// accumulate into private tables, so concurrent cache hits proceed.
+func (h *mergeHook) FoldOnline(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
+	m := h.m
+	name := tbl.Name()
+	type foldJob struct {
+		key    string
+		e      *Entry
+		combos []query.Combo
+	}
+	var jobs []foldJob
+	m.mu.Lock()
+	for key, e := range m.entries {
+		if e.Stale || e.mergedDirty || !queryReferences(e.Query, name) {
+			continue
+		}
+		// Merges whose folds coexist on one entry must share a baseline
+		// (MergeTablesOnline freezes its group at one snapshot); a fold
+		// staged at a different snapshot cannot survive this one.
+		if e.SnapHigh != snap.High && m.entryHasPendingFold(key) {
+			m.dropPendingFolds(key)
+			m.markStale(e, "overlapping online merges at different snapshots")
+			continue
+		}
+		var st query.Stats
+		if _, err := m.mainCompensate(e, snap, CachedFullPruning, &st, nil, compSettle); err != nil {
+			m.markStale(e, "merge-time main compensation failed: "+err.Error())
+			continue
+		}
+		if e.Stale {
+			continue
+		}
+		jobs = append(jobs, foldJob{key: key, e: e, combos: m.mergeFoldCombos(e.Query, name, part)})
+	}
+	m.foldedActive[name] = true
+	m.mu.Unlock()
+
+	pf := &pendingFold{
+		folds:  make(map[string]*query.AggTable, len(jobs)),
+		tuples: make(map[string]int64, len(jobs)),
+	}
+	for _, j := range jobs {
+		foldC := query.NewAggTable(j.e.Query.Aggs)
+		var st query.Stats
+		if err := m.runCombos(j.e.Query, j.combos, snap, CachedFullPruning, foldC, &st, nil); err != nil {
+			m.mu.Lock()
+			m.markStale(j.e, "merge-time delta fold failed: "+err.Error())
+			m.mu.Unlock()
+			continue
+		}
+		pf.folds[j.key] = foldC
+		pf.tuples[j.key] = st.TuplesJoined
+		m.obs.recordStats(&st)
+	}
+	m.mu.Lock()
+	m.pendingFolds[foldKey{table: name, part: part}] = pf
+	m.mu.Unlock()
+}
+
+// SwapOnline applies the staged folds inside the swap critical section: the
+// new main is already installed but its invalidation log not yet replayed,
+// so its pre-rendered base visibility is exactly the merge baseline S0 the
+// entries were settled to. Entries built during the merge describe the old
+// store layout and are marked stale instead.
+func (h *mergeHook) SwapOnline(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := tbl.Name()
+	fk := foldKey{table: name, part: part}
+	pf := m.pendingFolds[fk]
+	delete(m.pendingFolds, fk)
+	delete(m.foldedActive, name)
+	ref := query.StoreRef{Table: name, Part: part, Main: true}
+	base := ref.Resolve(db).MergeBaseVisibility()
+	for key, e := range m.entries {
+		if !queryReferences(e.Query, name) {
+			continue
+		}
+		if e.Stale {
+			e.mergedDirty = false
+			continue
+		}
+		if e.mergedDirty {
+			e.mergedDirty = false
+			m.markStale(e, "entry built during online merge")
+			continue
+		}
+		var fold *query.AggTable
+		if pf != nil {
+			fold = pf.folds[key]
+		}
+		if fold == nil {
+			// No staged fold (e.g. the entry appeared between fold and
+			// swap): rebuild on next access rather than guessing.
+			m.markStale(e, "no staged fold for online merge")
+			continue
+		}
+		e.Value.Merge(fold)
+		e.MainVis[ref] = base.Clone()
+		e.MainInv[ref] = 0
+		e.SnapHigh = snap.High
+		m.bytes -= e.Metrics.SizeBytes
+		e.Metrics.SizeBytes = e.Value.MemBytes()
+		m.bytes += e.Metrics.SizeBytes
+		e.Metrics.MainRows += pf.tuples[key]
+		e.Metrics.Maintenances++
+		m.obs.maintenances.Inc()
+		if m.ev.Enabled() {
+			m.ev.Emit("cache.maintenances",
+				slog.String("key", e.Key), slog.String("table", name),
+				slog.Int64("delta_tuples", pf.tuples[key]))
+		}
+	}
+	m.syncGauges()
+}
+
+// AbortOnline discards the staging of a rolled-back online merge. The store
+// layout queries observe is unchanged by a rollback, so settled entries stay
+// valid as they are; only folds that assumed this table's delta was about to
+// merge must go.
+func (h *mergeHook) AbortOnline(db *table.DB, tbl *table.Table, part int) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := tbl.Name()
+	delete(m.pendingFolds, foldKey{table: name, part: part})
+	delete(m.foldedActive, name)
+	// Folds staged for other, still-running merges may have counted this
+	// table's frozen delta as about-to-merge (the cross-term telescoping in
+	// mergeFoldCombos); applying them now would double-count those rows.
+	for _, pf := range m.pendingFolds {
+		for key := range pf.folds {
+			e := m.entries[key]
+			if e == nil || !queryReferences(e.Query, name) {
+				continue
+			}
+			delete(pf.folds, key)
+			delete(pf.tuples, key)
+			if !e.Stale {
+				m.markStale(e, "concurrent online merge aborted")
+			}
+		}
+	}
+	// Entries built during the aborted merge still describe the live store
+	// layout; unflag them unless another referenced table is still merging.
+	for _, e := range m.entries {
+		if e.mergedDirty && queryReferences(e.Query, name) && !m.entryMergeActive(e) {
+			e.mergedDirty = false
+		}
+	}
+}
+
+// entryHasPendingFold reports whether any staged fold references the entry.
+// Callers hold m.mu.
+func (m *Manager) entryHasPendingFold(key string) bool {
+	for _, pf := range m.pendingFolds {
+		if _, ok := pf.folds[key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPendingFolds removes the entry from every staged fold. Callers hold
+// m.mu.
+func (m *Manager) dropPendingFolds(key string) {
+	for _, pf := range m.pendingFolds {
+		delete(pf.folds, key)
+		delete(pf.tuples, key)
+	}
+}
+
 func queryReferences(q *query.Query, tableName string) bool {
 	for _, t := range q.Tables {
 		if t == tableName {
@@ -88,17 +283,24 @@ func queryReferences(q *query.Query, tableName string) bool {
 
 // mergeFoldCombos enumerates the subjoins that fold one partition's delta
 // into an entry: the merging table pinned to that delta store, every other
-// table ranging over its main stores.
-func mergeFoldCombos(db *table.DB, q *query.Query, mergingTable string, part int) []query.Combo {
+// table ranging over its main stores. A simultaneously-merging table whose
+// own fold is already staged additionally contributes its frozen delta:
+// that delta lands in its main together with ours, and the delta×delta
+// cross terms belong to exactly one fold — the later one — mirroring the
+// telescoping of sequential offline merges.
+func (m *Manager) mergeFoldCombos(q *query.Query, mergingTable string, part int) []query.Combo {
 	perTable := make([][]query.StoreRef, len(q.Tables))
 	for i, name := range q.Tables {
 		if name == mergingTable {
 			perTable[i] = []query.StoreRef{{Table: name, Part: part, Main: false}}
 			continue
 		}
-		t := db.MustTable(name)
-		for pi := range t.Partitions() {
+		t := m.db.MustTable(name)
+		for pi, p := range t.Partitions() {
 			perTable[i] = append(perTable[i], query.StoreRef{Table: name, Part: pi, Main: true})
+			if m.foldedActive[name] && p.MergeActive() {
+				perTable[i] = append(perTable[i], query.StoreRef{Table: name, Part: pi, Main: false})
+			}
 		}
 	}
 	var out []query.Combo

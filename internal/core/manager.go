@@ -88,8 +88,33 @@ type Manager struct {
 	obs     *managerObs
 	ev      *obs.EventLog
 	rec     *obs.Recorder
+	// pendingFolds stages per-entry maintenance folds computed by
+	// FoldOnline during an online merge's build phase, keyed by the merging
+	// (table, partition); SwapOnline applies them inside the swap critical
+	// section and AbortOnline discards them.
+	pendingFolds map[foldKey]*pendingFold
+	// foldedActive marks tables whose online-merge fold has already been
+	// staged in the current merge epoch. Later folds of other
+	// simultaneously-merging tables include these tables' frozen deltas in
+	// their subjoins — the telescoping that covers delta×delta cross terms,
+	// exactly as sequential offline merges would.
+	foldedActive map[string]bool
 	// Evictions counts evicted entries (for introspection and tests).
 	Evictions int64
+}
+
+// foldKey identifies the merging partition a staged fold belongs to.
+type foldKey struct {
+	table string
+	part  int
+}
+
+// pendingFold holds the staged maintenance folds of one merging partition:
+// per entry key, the aggregate of the frozen delta's subjoin contributions
+// at the merge snapshot, plus the tuple counts for the entry metrics.
+type pendingFold struct {
+	folds  map[string]*query.AggTable
+	tuples map[string]int64
 }
 
 // NewManager creates a cache manager bound to a database and its matching
@@ -105,14 +130,16 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		ev = obs.Events()
 	}
 	m := &Manager{
-		db:      db,
-		mds:     mds,
-		exec:    &query.Executor{DB: db, Events: ev, Workers: cfg.Workers},
-		cfg:     cfg,
-		entries: make(map[string]*Entry),
-		obs:     newManagerObs(cfg.Metrics),
-		ev:      ev,
-		rec:     cfg.Recorder,
+		db:           db,
+		mds:          mds,
+		exec:         &query.Executor{DB: db, Events: ev, Workers: cfg.Workers},
+		cfg:          cfg,
+		entries:      make(map[string]*Entry),
+		obs:          newManagerObs(cfg.Metrics),
+		ev:           ev,
+		rec:          cfg.Recorder,
+		pendingFolds: make(map[foldKey]*pendingFold),
+		foldedActive: make(map[string]bool),
 	}
 	m.exec.ParallelSubjoins = m.obs.parallelSubjoins
 	w := cfg.Workers
@@ -164,17 +191,28 @@ func (m *Manager) Clear() {
 func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
+	snap, unpin := m.db.Txns().PinRead()
+	defer unpin()
 	var sp *obs.Span
 	if m.rec.Enabled() {
 		sp = obs.StartSpan("execute " + q.Fingerprint())
 		sp.Attr("strategy", strat.String())
 	}
-	res, info, err := m.execute(q, m.db.Txns().ReadSnapshot(), strat, sp)
+	res, info, err := m.execute(q, snap, strat, sp)
 	if sp != nil {
 		sp.End()
 		m.rec.Record(sp)
 	}
 	return res, info, err
+}
+
+// PinSnapshot pins the current read snapshot against version reclamation
+// and returns it with a release function. An online merge started while the
+// pin is held retains every row version the snapshot can see, so
+// ExecuteAt(q, snap, ...) keeps returning the same result across the merge
+// swap. The release function is idempotent.
+func (m *Manager) PinSnapshot() (txn.Snapshot, func()) {
+	return m.db.Txns().PinRead()
 }
 
 // ExecuteAt is Execute against an explicit snapshot; the caller must hold
@@ -191,9 +229,11 @@ func (m *Manager) ExecuteAt(q *query.Query, snap txn.Snapshot, strat Strategy) (
 func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTable, ExecInfo, *obs.Span, error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
+	snap, unpin := m.db.Txns().PinRead()
+	defer unpin()
 	sp := obs.StartSpan("execute " + q.Fingerprint())
 	sp.Attr("strategy", strat.String())
-	res, info, err := m.execute(q, m.db.Txns().ReadSnapshot(), strat, sp)
+	res, info, err := m.execute(q, snap, strat, sp)
 	sp.End()
 	m.rec.Record(sp)
 	return res, info, sp, err
@@ -202,7 +242,7 @@ func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTabl
 func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp *obs.Span) (*query.AggTable, ExecInfo, error) {
 	start := time.Now()
 	info := ExecInfo{Strategy: strat}
-	e, uncachedRes, err := m.prepare(q, snap, strat, &info, sp)
+	e, work, uncachedRes, err := m.prepare(q, snap, strat, &info, sp)
 	if err != nil || uncachedRes != nil {
 		info.Total = time.Since(start)
 		if err == nil {
@@ -211,27 +251,27 @@ func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp 
 		return uncachedRes, info, err
 	}
 
-	// Delta compensation on a clone of the cached value.
-	res := e.Value.Clone()
-	if err := m.compensateAndAccount(e, q, snap, strat, res, &info, sp); err != nil {
+	// Delta compensation on the prepared clone of the cached value.
+	if err := m.compensateAndAccount(e, q, snap, strat, work, &info, sp); err != nil {
 		return nil, info, err
 	}
 	info.Total = time.Since(start)
 	m.obs.recordExec(&info)
-	return res, info, nil
+	return work, info, nil
 }
 
 // ExecuteRows runs a query like Execute but materializes the result by
-// streaming the cached groups merged with the delta compensation, instead
-// of cloning the cached value — the fast path for frequent cache hits.
-// Rows are returned unsorted.
+// streaming the cached groups merged with the delta compensation applied to
+// a separate accumulator — the fast path for frequent cache hits. Rows are
+// returned unsorted.
 func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, ExecInfo, error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
 	start := time.Now()
-	snap := m.db.Txns().ReadSnapshot()
+	snap, unpin := m.db.Txns().PinRead()
+	defer unpin()
 	info := ExecInfo{Strategy: strat}
-	e, uncachedRes, err := m.prepare(q, snap, strat, &info, nil)
+	e, work, uncachedRes, err := m.prepare(q, snap, strat, &info, nil)
 	if err != nil {
 		return nil, info, err
 	}
@@ -244,26 +284,30 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 	if err := m.compensateAndAccount(e, q, snap, strat, comp, &info, nil); err != nil {
 		return nil, info, err
 	}
-	rows := e.Value.MergedRows(comp)
+	rows := work.MergedRows(comp)
 	info.Total = time.Since(start)
 	m.obs.recordExec(&info)
 	return rows, info, nil
 }
 
 // prepare resolves the cache entry for a query: lookup, admission on miss,
-// rebuild when stale, and main compensation on hit. For the Uncached
-// strategy and for snapshots predating the entry it executes the query
-// directly and returns the result in its second return value.
-func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, info *ExecInfo, sp *obs.Span) (*Entry, *query.AggTable, error) {
+// rebuild when stale, and main compensation on hit. It returns the entry
+// together with a private, main-compensated clone of its value for the
+// caller to apply delta compensation to. The clone is taken under the cache
+// lock: during an online merge the maintenance fold settles entry values
+// concurrently with readers. For the Uncached strategy and for snapshots
+// predating the entry it executes the query directly and returns the result
+// in its third return value instead.
+func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, info *ExecInfo, sp *obs.Span) (*Entry, *query.AggTable, *query.AggTable, error) {
 	if strat == Uncached {
 		if err := q.Validate(m.db); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		us := sp.Child("execute-all")
 		res, st, err := m.exec.ExecuteAllSpan(q, snap, us)
 		us.End()
 		info.Stats = st
-		return nil, res, err
+		return nil, nil, res, err
 	}
 
 	m.mu.Lock()
@@ -284,9 +328,10 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 		res, st, err := m.exec.ExecuteAllSpan(q, snap, us)
 		us.End()
 		info.Stats = st
-		return nil, res, err
+		return nil, nil, res, err
 	}
 
+	var work *query.AggTable
 	switch {
 	case !hit:
 		lookup.Attr("verdict", "miss")
@@ -295,13 +340,13 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 		// an identical, already-validated definition (the fingerprint
 		// covers the full query).
 		if err := q.Validate(m.db); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		bs := sp.Child("build-entry")
 		var err error
 		e, err = m.buildEntry(q, key, snap, strat, &info.Stats, bs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		info.Admitted = m.admit(e)
 		if info.Admitted {
@@ -317,7 +362,7 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 		err := m.rebuildEntry(e, snap, strat, &info.Stats, rs)
 		rs.End()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		info.Rebuilt = true
 	default:
@@ -325,28 +370,57 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 		lookup.Attr("verdict", "hit")
 		lookup.End()
 		// Main compensation: subtract rows invalidated since the entry's
-		// visibility snapshot (single-table), or rebuild (joins).
+		// visibility snapshot (single-table), or via negative-delta
+		// subjoins (joins). While an online merge is running on one of the
+		// entry's tables, the entry is frozen at the merge baseline — the
+		// staged maintenance fold depends on it — so compensation applies
+		// transiently to the served clone instead of the entry.
+		mode := compPersist
+		if m.entryMergeActive(e) {
+			mode = compTransient
+			work = e.Value.Clone()
+		}
 		ms := sp.Child("main-compensation")
-		n, err := m.mainCompensate(e, snap, strat, &info.Stats)
+		n, err := m.mainCompensate(e, snap, strat, &info.Stats, work, mode)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ms.AttrInt("invalidated-rows", int64(n))
+		if mode == compTransient {
+			ms.Attr("mode", "transient")
+		}
 		ms.End()
 		info.MainCompensated = n
 		if e.Stale {
+			work = nil
 			rs := sp.Child("rebuild-entry")
 			rs.Attr("cause", "uncompensatable main invalidations")
 			err := m.rebuildEntry(e, snap, strat, &info.Stats, rs)
 			rs.End()
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			info.Rebuilt = true
 			info.CacheHit = false
 		}
 	}
-	return e, nil, nil
+	if work == nil {
+		work = e.Value.Clone()
+	}
+	return e, work, nil, nil
+}
+
+// entryMergeActive reports whether any table the entry's query references
+// has an online merge in flight — the condition under which the entry is
+// frozen at the merge baseline. Callers hold m.mu and the database lock
+// (either side).
+func (m *Manager) entryMergeActive(e *Entry) bool {
+	for _, name := range e.Query.Tables {
+		if m.db.MergeActive(name) {
+			return true
+		}
+	}
+	return false
 }
 
 // compensateAndAccount runs delta compensation into out and updates the
@@ -504,6 +578,10 @@ func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *
 	e.Value = value
 	e.SnapHigh = snap.High
 	e.Stale = false
+	// An entry (re)built while an online merge is running describes the
+	// pre-swap store layout; the swap marks it stale instead of applying
+	// the staged maintenance fold (see mergeHook.SwapOnline).
+	e.mergedDirty = m.entryMergeActive(e)
 	for ref := range e.MainVis {
 		delete(e.MainVis, ref)
 		delete(e.MainInv, ref)
@@ -596,24 +674,52 @@ type storeDiff struct {
 	n    int
 }
 
+// compMode selects how main compensation treats the entry.
+type compMode int
+
+const (
+	// compPersist mutates the entry: the value is compensated in place and
+	// the visibility baselines advance to snap, which must be the current
+	// read watermark (the normal query path and the offline merge hook).
+	compPersist compMode = iota
+	// compSettle is compPersist for a snapshot that may be older than the
+	// present — the online-merge fold settling an entry to the merge
+	// baseline S0. MainInv is left untouched: the invalidation counters may
+	// already include post-S0 invalidations that a vector at S0 cannot
+	// reflect, and recording them would let the dirty check skip real work.
+	compSettle
+	// compTransient leaves the entry untouched — it is frozen at the merge
+	// baseline while an online merge is in flight — and applies the
+	// compensation to the caller's target table (the served clone) instead.
+	compTransient
+)
+
 // mainCompensate applies the bit-vector-comparison main compensation of
 // paper Sec. 2.2: rows of the tracked main stores that were visible at
 // entry time but are invalidated now are removed from the cached value.
 // Single-table entries subtract the rows directly; join entries are
 // compensated by negative-delta subjoins (see joinMainCompensate) or, with
-// that extension disabled, marked stale for rebuild.
-func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats) (int, error) {
+// that extension disabled, marked stale for rebuild. target is the table
+// compensated in compTransient mode and ignored otherwise.
+func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st *query.Stats, target *query.AggTable, mode compMode) (int, error) {
+	if mode != compTransient {
+		target = e.Value
+	}
 	var diffs []storeDiff
 	total := 0
 	for _, ref := range e.mainRefs() {
 		store := ref.Resolve(m.db)
-		// Dirty check: no invalidation event since the snapshot means no
-		// row can have disappeared; skip the O(rows) vector comparison.
+		// Dirty check: an unchanged invalidation counter means no row can
+		// have disappeared; skip the O(rows) vector comparison. (MainInv
+		// only ever holds counter values whose invalidations are already
+		// excluded from MainVis, so equality is a safe skip in every mode.)
 		if store.Invalidations() == e.MainInv[ref] {
 			continue
 		}
 		cur := store.Visibility(snap)
-		e.MainInv[ref] = store.Invalidations()
+		if mode == compPersist {
+			e.MainInv[ref] = store.Invalidations()
+		}
 		diff := e.MainVis[ref].AndNot(cur)
 		if n := diff.Count(); n > 0 {
 			diffs = append(diffs, storeDiff{ref: ref, cur: cur, diff: diff, n: n})
@@ -621,25 +727,35 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 		}
 	}
 	if total == 0 {
+		// Settling to the merge baseline pins SnapHigh at S0 even when no
+		// row disappeared: the staged fold and the swap are keyed to it.
+		if mode == compSettle {
+			e.SnapHigh = snap.High
+		}
 		return 0, nil
 	}
 	switch {
 	case len(e.Query.Tables) == 1:
 		for _, d := range diffs {
-			if err := subtractRows(m.db, e.Query, d.ref, d.diff, e.Value); err != nil {
+			if err := subtractRows(m.db, e.Query, d.ref, d.diff, target); err != nil {
 				return total, err
 			}
-			e.MainVis[d.ref] = d.cur
+			if mode != compTransient {
+				e.MainVis[d.ref] = d.cur
+			}
 		}
 	case m.cfg.DisableJoinCompensation:
 		m.markStale(e, "join compensation disabled")
 		return total, nil
 	default:
-		if err := m.joinMainCompensate(e, diffs, st); err != nil {
+		if err := m.joinMainCompensate(e, diffs, st, target, mode != compTransient); err != nil {
 			// Fall back to a rebuild rather than serving a wrong result.
 			m.markStale(e, "join compensation failed: "+err.Error())
 			return total, nil
 		}
+	}
+	if mode == compTransient {
+		return total, nil
 	}
 	e.Metrics.DirtyCounter += int64(total)
 	if _, cached := m.entries[e.Key]; cached {

@@ -20,7 +20,12 @@ import (
 // other term: subtract for odd |S|, add back for even |S|. Terms involving
 // a table with no invalidations vanish, so the subset enumeration runs only
 // over the tables that actually saw diffs — typically one.
-func (m *Manager) joinMainCompensate(e *Entry, diffs []storeDiff, st *query.Stats) error {
+//
+// target receives the signed compensation (the entry value itself, or a
+// served clone while the entry is frozen during an online merge); persist
+// additionally advances the entry's visibility baselines and must be false
+// when target is not e.Value.
+func (m *Manager) joinMainCompensate(e *Entry, diffs []storeDiff, st *query.Stats, target *query.AggTable, persist bool) error {
 	// Group the per-store diffs by table.
 	diffByRef := make(map[query.StoreRef]*storeDiff, len(diffs))
 	tableHasDiff := map[string]bool{}
@@ -91,9 +96,11 @@ func (m *Manager) joinMainCompensate(e *Entry, diffs []storeDiff, st *query.Stat
 		}
 		scratch.MergeSigned(term, sign)
 	}
-	e.Value.ApplySigned(scratch)
-	for _, d := range diffs {
-		e.MainVis[d.ref] = d.cur
+	target.ApplySigned(scratch)
+	if persist {
+		for _, d := range diffs {
+			e.MainVis[d.ref] = d.cur
+		}
 	}
 	return nil
 }

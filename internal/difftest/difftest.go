@@ -1,0 +1,562 @@
+// Package difftest is a randomized differential test harness for the
+// aggregate cache: seeded generators produce mixed workloads of inserts,
+// updates, deletes, offline/online/staged delta merges, fault-injected
+// crashes, and data aging over the ERP schema, and every embedded query
+// check asserts that all cached execution strategies — at one and at four
+// executor workers — return results byte-identical to the uncached oracle.
+//
+// Failures reproduce from their seed alone. The harness shrinks a failing
+// operation sequence by greedy chunk removal before reporting, and can
+// persist the minimal sequence as an artifact (AGGCACHE_DIFFTEST_ARTIFACTS).
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"aggcache/internal/column"
+	"aggcache/internal/core"
+	"aggcache/internal/obs"
+	"aggcache/internal/query"
+	"aggcache/internal/table"
+	"aggcache/internal/workload"
+)
+
+// OpKind enumerates the generator's operations.
+type OpKind int
+
+const (
+	// OpInsert inserts one business object (header + A%3+1 items).
+	OpInsert OpKind = iota
+	// OpUpdate reprices one item of a live object.
+	OpUpdate
+	// OpDelete deletes a live business object (header and items in one
+	// transaction, preserving the matching dependency).
+	OpDelete
+	// OpMergeOffline runs the classic synchronized offline merge.
+	OpMergeOffline
+	// OpMergeOnline runs an atomic online merge (group or single table).
+	OpMergeOnline
+	// OpBeginMerge stages an online merge (prepare + build) and leaves it
+	// open, so later operations run against the frozen partition.
+	OpBeginMerge
+	// OpFinishMerge swaps an open staged merge.
+	OpFinishMerge
+	// OpAbortMerge rolls an open staged merge back.
+	OpAbortMerge
+	// OpCrashMerge arms a crash fault inside an online merge and checks
+	// the engine survives it (ErrInjected surfaced, state rolled back).
+	OpCrashMerge
+	// OpAge moves the hot/cold boundary (partitioned configs only).
+	OpAge
+	// OpCheck runs one query shape through every strategy and worker
+	// count and compares against the uncached oracle.
+	OpCheck
+	numOpKinds
+)
+
+// String names the op for failure reports.
+func (k OpKind) String() string {
+	names := []string{"insert", "update", "delete", "merge-offline",
+		"merge-online", "begin-merge", "finish-merge", "abort-merge",
+		"crash-merge", "age", "check"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one generated operation. A, B, C carry raw random values the
+// runner interprets modulo its live state, so any subsequence of a
+// generated program is still a valid program — the property shrinking
+// relies on.
+type Op struct {
+	Kind    OpKind
+	A, B, C int64
+}
+
+// Config parameterizes one differential run.
+type Config struct {
+	// ERP is the schema/bulk-load configuration (kept small: the harness
+	// trades per-run size for seed count).
+	ERP workload.ERPConfig
+	// Ops is the number of generated operations.
+	Ops int
+	// DisableMerges replaces every merge/age operation with a no-op; a
+	// paired run with and without merges must produce byte-identical
+	// check outputs (merges are pure reorganizations).
+	DisableMerges bool
+}
+
+// SmallERP is the default laptop-second scale schema for differential runs.
+func SmallERP(seed int64) workload.ERPConfig {
+	return workload.ERPConfig{
+		Headers:        40,
+		ItemsPerHeader: 3,
+		Categories:     5,
+		Languages:      []string{"ENG", "GER"},
+		Years:          3,
+		BaseYear:       2012,
+		Seed:           seed,
+	}
+}
+
+// HotColdERP is the two-partition variant, enabling aging operations.
+func HotColdERP(seed int64) workload.ERPConfig {
+	cfg := SmallERP(seed)
+	cfg.ColdShare = 0.5
+	return cfg
+}
+
+// Generate derives a deterministic operation sequence from the seed.
+func Generate(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, 0, n+1)
+	for i := 0; i < n; i++ {
+		var k OpKind
+		switch p := rng.Intn(100); {
+		case p < 28:
+			k = OpInsert
+		case p < 43:
+			k = OpUpdate
+		case p < 53:
+			k = OpDelete
+		case p < 58:
+			k = OpMergeOffline
+		case p < 66:
+			k = OpMergeOnline
+		case p < 72:
+			k = OpBeginMerge
+		case p < 78:
+			k = OpFinishMerge
+		case p < 80:
+			k = OpAbortMerge
+		case p < 83:
+			k = OpCrashMerge
+		case p < 86:
+			k = OpAge
+		default:
+			k = OpCheck
+		}
+		ops = append(ops, Op{Kind: k, A: rng.Int63(), B: rng.Int63(), C: rng.Int63()})
+	}
+	return ops
+}
+
+type object struct {
+	hid   int64
+	items []int64
+	alive bool
+}
+
+type stagedKey struct {
+	table string
+	part  int
+}
+
+// Runner executes an operation sequence against one ERP database observed
+// by two cache managers (one single-worker, one four-worker).
+type Runner struct {
+	erp    *workload.ERP
+	m1, m4 *core.Manager
+	objs   []object
+	staged map[stagedKey]*table.OnlineMerge
+	// Outputs collects the rendered result of every query check, in
+	// order — the unit of cross-run comparison.
+	Outputs []string
+	cfg     Config
+	checks  int
+}
+
+// NewRunner builds the database and managers for one run.
+func NewRunner(cfg Config) (*Runner, error) {
+	erp, err := workload.BuildERP(cfg.ERP)
+	if err != nil {
+		return nil, err
+	}
+	// Unlimited capacity and zero admission threshold keep the entry
+	// population a pure function of the op sequence.
+	mk := func(workers int) *core.Manager {
+		return core.NewManager(erp.DB, erp.Reg, core.Config{
+			Workers: workers,
+			Metrics: obs.NewRegistry(),
+		})
+	}
+	r := &Runner{
+		erp:    erp,
+		m1:     mk(1),
+		m4:     mk(4),
+		staged: make(map[stagedKey]*table.OnlineMerge),
+		cfg:    cfg,
+	}
+	// Reconstruct the bulk-loaded objects: header ids and item ids are
+	// assigned sequentially by the loader.
+	item := int64(1)
+	for h := int64(1); h <= int64(cfg.ERP.Headers); h++ {
+		o := object{hid: h, alive: true}
+		for j := 0; j < cfg.ERP.ItemsPerHeader; j++ {
+			o.items = append(o.items, item)
+			item++
+		}
+		r.objs = append(r.objs, o)
+	}
+	return r, nil
+}
+
+// pickAlive resolves a raw random value to a live object index, or -1.
+func (r *Runner) pickAlive(raw int64) int {
+	var live []int
+	for i := range r.objs {
+		if r.objs[i].alive {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[raw%int64(len(live))]
+}
+
+func (r *Runner) mergeActive() bool {
+	return r.erp.DB.MergeActive(workload.THeader) || r.erp.DB.MergeActive(workload.TItem)
+}
+
+// Run executes the sequence; any correctness violation is returned as an
+// error naming the failing op index.
+func (r *Runner) Run(ops []Op) error {
+	for i, op := range ops {
+		if err := r.apply(op); err != nil {
+			return fmt.Errorf("op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	// Close any merge the sequence left open, then do a final sweep of
+	// every query shape so each run ends fully checked.
+	for _, k := range r.stagedKeys() {
+		om := r.staged[k]
+		delete(r.staged, k)
+		if _, err := om.Finish(); err != nil {
+			return fmt.Errorf("final staged finish: %w", err)
+		}
+	}
+	for shape := int64(0); shape < 4; shape++ {
+		if err := r.check(Op{Kind: OpCheck, A: shape, B: 1, C: 0}); err != nil {
+			return fmt.Errorf("final check: %w", err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) apply(op Op) error {
+	db := r.erp.DB
+	switch op.Kind {
+	case OpInsert:
+		items := int(op.A%3) + 1
+		hid := r.erp.NextHeaderID()
+		start := r.nextItemID()
+		if err := r.erp.InsertBusinessObject(items); err != nil {
+			return err
+		}
+		o := object{hid: hid, alive: true}
+		for j := 0; j < items; j++ {
+			o.items = append(o.items, start+int64(j))
+		}
+		r.objs = append(r.objs, o)
+
+	case OpUpdate:
+		idx := r.pickAlive(op.A)
+		if idx < 0 {
+			return nil
+		}
+		o := r.objs[idx]
+		itemID := o.items[op.B%int64(len(o.items))]
+		price := float64(1 + op.C%1000) // integer-valued: exact arithmetic
+		return r.reprice(itemID, price)
+
+	case OpDelete:
+		idx := r.pickAlive(op.A)
+		if idx < 0 {
+			return nil
+		}
+		o := &r.objs[idx]
+		tx := db.Txns().Begin()
+		for _, itemID := range o.items {
+			if err := db.MustTable(workload.TItem).Delete(tx, itemID); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if err := db.MustTable(workload.THeader).Delete(tx, o.hid); err != nil {
+			tx.Abort()
+			return err
+		}
+		tx.Commit()
+		o.alive = false
+
+	case OpMergeOffline:
+		if r.cfg.DisableMerges || r.mergeActive() {
+			return nil
+		}
+		return db.MergeTables(false, workload.THeader, workload.TItem)
+
+	case OpMergeOnline:
+		if r.cfg.DisableMerges || r.mergeActive() {
+			return nil
+		}
+		if op.A%2 == 0 {
+			return db.MergeTablesOnline(false, workload.THeader, workload.TItem)
+		}
+		name := workload.THeader
+		if op.B%2 == 0 {
+			name = workload.TItem
+		}
+		part := int(op.C) % r.parts(name)
+		_, err := db.MergeOnline(name, part, false)
+		return err
+
+	case OpBeginMerge:
+		if r.cfg.DisableMerges {
+			return nil
+		}
+		name := workload.THeader
+		if op.A%2 == 0 {
+			name = workload.TItem
+		}
+		if db.MergeActive(name) {
+			return nil
+		}
+		part := int(op.B) % r.parts(name)
+		om, err := db.StartOnlineMerge(name, part, false)
+		if err != nil {
+			return err
+		}
+		if err := om.Build(); err != nil {
+			om.Abort()
+			return err
+		}
+		r.staged[stagedKey{name, part}] = om
+
+	case OpFinishMerge:
+		if keys := r.stagedKeys(); len(keys) > 0 {
+			k := keys[op.A%int64(len(keys))]
+			om := r.staged[k]
+			delete(r.staged, k)
+			_, err := om.Finish()
+			return err
+		}
+
+	case OpAbortMerge:
+		if keys := r.stagedKeys(); len(keys) > 0 {
+			k := keys[op.A%int64(len(keys))]
+			om := r.staged[k]
+			delete(r.staged, k)
+			om.Abort()
+		}
+
+	case OpCrashMerge:
+		if r.cfg.DisableMerges || r.mergeActive() {
+			return nil
+		}
+		points := []table.FaultPoint{
+			table.FaultMergePrepared, table.FaultMergeBuild,
+			table.FaultMergeBeforeSwap, table.FaultMergeAfterSwap,
+		}
+		point := points[op.B%int64(len(points))]
+		f := table.NewFaults(op.A)
+		f.Set(point, table.FaultSpec{Prob: 1, Crash: true})
+		db.SetFaults(f)
+		name := workload.THeader
+		if op.C%2 == 0 {
+			name = workload.TItem
+		}
+		_, err := db.MergeOnline(name, int(op.C)%r.parts(name), false)
+		db.SetFaults(nil)
+		if !errors.Is(err, table.ErrInjected) {
+			return fmt.Errorf("crash injection at %v: got %v, want ErrInjected", point, err)
+		}
+
+	case OpAge:
+		if r.cfg.DisableMerges || r.cfg.ERP.ColdShare <= 0 || r.mergeActive() {
+			return nil
+		}
+		// Aging requires empty deltas in every partition; merge them all
+		// first, then move both tables' boundaries together to keep
+		// objects co-partitioned.
+		for _, name := range []string{workload.THeader, workload.TItem} {
+			for part := 0; part < r.parts(name); part++ {
+				if _, err := db.Merge(name, part, false); err != nil {
+					return err
+				}
+			}
+		}
+		cold := db.MustTable(workload.THeader).Partitions()[0]
+		wm := int64(db.Txns().Watermark())
+		if wm <= cold.Hi {
+			return nil
+		}
+		split := cold.Hi + 1 + op.A%(wm-cold.Hi)
+		for _, name := range []string{workload.THeader, workload.TItem} {
+			if err := db.AgeOnline(name, split); err != nil {
+				return err
+			}
+		}
+
+	case OpCheck:
+		return r.check(op)
+	}
+	return nil
+}
+
+// stagedKeys lists open staged merges in a deterministic order.
+func (r *Runner) stagedKeys() []stagedKey {
+	keys := make([]stagedKey, 0, len(r.staged))
+	for k := range r.staged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].table != keys[j].table {
+			return keys[i].table < keys[j].table
+		}
+		return keys[i].part < keys[j].part
+	})
+	return keys
+}
+
+func (r *Runner) parts(name string) int {
+	return len(r.erp.DB.MustTable(name).Partitions())
+}
+
+// nextItemID mirrors the workload generator's item id counter.
+func (r *Runner) nextItemID() int64 {
+	var max int64
+	for i := range r.objs {
+		for _, id := range r.objs[i].items {
+			if id > max {
+				max = id
+			}
+		}
+	}
+	return max + 1
+}
+
+// reprice updates one item's price in its own transaction.
+func (r *Runner) reprice(itemID int64, price float64) error {
+	db := r.erp.DB
+	tx := db.Txns().Begin()
+	if err := db.MustTable(workload.TItem).Update(tx, itemID,
+		map[string]column.Value{"Price": column.FloatV(price)}); err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+// check runs one query shape through every strategy at both worker counts
+// and compares everything against the single-worker uncached oracle.
+func (r *Runner) check(op Op) error {
+	q := r.pickQuery(op)
+	oracle, _, err := r.m1.Execute(q, core.Uncached)
+	if err != nil {
+		return err
+	}
+	want := renderRows(oracle)
+	r.checks++
+	r.Outputs = append(r.Outputs, want)
+	for _, strat := range core.Strategies() {
+		var ref query.Stats
+		for wi, m := range []*core.Manager{r.m1, r.m4} {
+			res, info, err := m.Execute(q, strat)
+			if err != nil {
+				return fmt.Errorf("%v workers=%d: %w", strat, 1+3*wi, err)
+			}
+			if got := renderRows(res); got != want {
+				return fmt.Errorf("%v workers=%d diverged from oracle\n got: %s\nwant: %s",
+					strat, 1+3*wi, got, want)
+			}
+			// The executor guarantees worker-count-independent results;
+			// the deterministic subjoin counters must agree too.
+			st := canonStats(info.Stats)
+			if wi == 0 {
+				ref = st
+			} else if st != ref {
+				return fmt.Errorf("%v stats diverged across worker counts:\n w1: %+v\n w4: %+v",
+					strat, ref, st)
+			}
+		}
+	}
+	return nil
+}
+
+// canonStats keeps the counters that are deterministic across worker
+// counts (drops none today — all Stats fields are counts, not timings).
+func canonStats(st query.Stats) query.Stats { return st }
+
+func (r *Runner) pickQuery(op Op) *query.Query {
+	cfg := r.cfg.ERP
+	switch op.A % 4 {
+	case 0:
+		year := cfg.BaseYear + int(op.B)%cfg.Years
+		lang := cfg.Languages[op.C%int64(len(cfg.Languages))]
+		return r.erp.ProfitQuery(year, lang)
+	case 1:
+		lo := cfg.BaseYear + int(op.B)%cfg.Years
+		hi := lo + int(op.C)%(cfg.Years-(lo-cfg.BaseYear))
+		return r.erp.YearRangeQuery(lo, hi)
+	case 2:
+		return r.erp.HeaderCountQuery()
+	default:
+		return r.erp.ItemRevenueQuery()
+	}
+}
+
+func renderRows(a *query.AggTable) string {
+	return fmt.Sprintf("%+v", a.Rows())
+}
+
+// RunSeed builds a fresh runner and executes the seed's generated sequence.
+func RunSeed(cfg Config, seed int64, ops []Op) ([]string, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = r.Run(ops)
+	return r.Outputs, err
+}
+
+// Shrink minimizes a failing sequence by greedy chunk removal: it
+// repeatedly tries deleting chunks of halving size and keeps every
+// deletion under which the failure (any failure) reproduces.
+func Shrink(cfg Config, seed int64, ops []Op) []Op {
+	fails := func(candidate []Op) bool {
+		_, err := RunSeed(cfg, seed, candidate)
+		return err != nil
+	}
+	if !fails(ops) {
+		return ops
+	}
+	cur := append([]Op(nil), ops...)
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append([]Op(nil), cur[:start]...), cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand // keep the deletion; retry the same offset
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// Format renders an op sequence for failure reports and artifacts.
+func Format(seed int64, ops []Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d ops=%d\n", seed, len(ops))
+	for i, op := range ops {
+		fmt.Fprintf(&b, "%3d %-14s A=%d B=%d C=%d\n", i, op.Kind, op.A, op.B, op.C)
+	}
+	return b.String()
+}

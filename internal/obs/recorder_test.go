@@ -145,8 +145,15 @@ func TestRecorderConcurrency(t *testing.T) {
 				if i%20 == 0 {
 					for _, s := range r.List() {
 						if _, ok := r.Get(s.ID); !ok {
-							t.Errorf("listed trace %d not fetchable", s.ID)
-							return
+							// Concurrent Records may have evicted s between
+							// List and Get; only a trace that is still
+							// listed must be fetchable.
+							for _, cur := range r.List() {
+								if cur.ID == s.ID {
+									t.Errorf("listed trace %d not fetchable", s.ID)
+									return
+								}
+							}
 						}
 					}
 				}

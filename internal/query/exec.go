@@ -13,11 +13,15 @@ import (
 )
 
 // StoreRef names one physical store of a table: partition index plus
-// main/delta side.
+// main/delta side. While an online merge is running on the partition, a
+// third store exists — the delta2 write-coalescing store new writes land
+// in — addressed by D2; such refs are transient (the swap turns delta2
+// into the partition's delta).
 type StoreRef struct {
 	Table string
 	Part  int
 	Main  bool
+	D2    bool
 }
 
 // String implements fmt.Stringer, e.g. "Item[0].delta".
@@ -25,6 +29,8 @@ func (r StoreRef) String() string {
 	side := "delta"
 	if r.Main {
 		side = "main"
+	} else if r.D2 {
+		side = "delta2"
 	}
 	return fmt.Sprintf("%s[%d].%s", r.Table, r.Part, side)
 }
@@ -34,6 +40,9 @@ func (r StoreRef) Resolve(db *table.DB) *table.Store {
 	p := db.MustTable(r.Table).Partition(r.Part)
 	if r.Main {
 		return p.Main
+	}
+	if r.D2 {
+		return p.Delta2
 	}
 	return p.Delta
 }
@@ -346,11 +355,16 @@ func AllCombos(db *table.DB, q *Query) []Combo {
 	perTable := make([][]StoreRef, len(q.Tables))
 	for i, name := range q.Tables {
 		t := db.MustTable(name)
-		for pi := range t.Partitions() {
+		for pi, p := range t.Partitions() {
 			perTable[i] = append(perTable[i],
 				StoreRef{Table: name, Part: pi, Main: true},
 				StoreRef{Table: name, Part: pi, Main: false},
 			)
+			if p.Delta2 != nil {
+				// An online merge is running on this partition: rows that
+				// coalesced in delta2 are part of the consistent view.
+				perTable[i] = append(perTable[i], StoreRef{Table: name, Part: pi, D2: true})
+			}
 		}
 	}
 	var out []Combo

@@ -1,0 +1,107 @@
+package sql
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"unicode/utf8"
+
+	"aggcache/internal/table"
+	"aggcache/internal/workload"
+)
+
+// fuzzDB builds the ERP schema once; Parse only reads schema metadata, so
+// one database serves every fuzz execution.
+var fuzzDB = struct {
+	once sync.Once
+	db   *table.DB
+}{}
+
+func fuzzSchema(f *testing.F) *table.DB {
+	fuzzDB.once.Do(func() {
+		cfg := workload.ERPConfig{
+			Headers:        1,
+			ItemsPerHeader: 1,
+			Categories:     1,
+			Languages:      []string{"ENG"},
+			Years:          1,
+			BaseYear:       2012,
+			Seed:           1,
+		}
+		erp, err := workload.BuildERP(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzDB.db = erp.DB
+	})
+	return fuzzDB.db
+}
+
+// FuzzParseSQL feeds arbitrary statements through the SQL front end. The
+// invariant is totality: Parse either returns a statement or an error —
+// never a panic, hang, or a success with a nil query. Valid statements must
+// survive a render-free round of re-parsing their own normalized text is
+// not required (the parser does not pretty-print); the corpus seeds cover
+// every production of the grammar plus known error shapes.
+func FuzzParseSQL(f *testing.F) {
+	db := fuzzSchema(f)
+	seeds := []string{
+		// Every clause of the supported grammar.
+		`SELECT d.Name AS Category, SUM(i.Price) AS Profit
+FROM Header h JOIN Item i ON h.HeaderID = i.HeaderID
+JOIN ProductCategory d ON i.CategoryID = d.CategoryID
+WHERE h.FiscalYear = 2012 AND d.Language = 'ENG'
+GROUP BY d.Name`,
+		`SELECT CategoryID, COUNT(*) AS n, AVG(Price) AS avg_price FROM Item GROUP BY CategoryID`,
+		`SELECT COUNT(*) AS n FROM Header WHERE FiscalYear >= 2012 AND FiscalYear <= 2013 GROUP BY FiscalYear`,
+		`SELECT FiscalYear, COUNT(*) AS n FROM Header WHERE (Region = 'EMEA' OR Region = 'APAC') AND FiscalYear <> 2011 GROUP BY FiscalYear`,
+		`SELECT COUNT(*) AS n FROM Header WHERE NOT (FiscalYear < 2012)`,
+		`SELECT SUM(Price) AS s FROM Item WHERE Price > 10.5`,
+		`SELECT MIN(Price) AS lo, MAX(Price) AS hi FROM Item`,
+		// Error shapes: each exercises a distinct diagnostic path.
+		`SELEC x FROM Header`,
+		`SELECT COUNT(*) FROM Nope`,
+		`SELECT Nope FROM Header GROUP BY Nope`,
+		`SELECT FiscalYear FROM Header`,
+		`SELECT COUNT(*) FROM Header WHERE FiscalYear = 'x'`,
+		`SELECT SUM(*) FROM Item`,
+		`SELECT COUNT(*) FROM Header WHERE FiscalYear = `,
+		`SELECT COUNT(*) FROM Header GROUP BY`,
+		`SELECT COUNT(*) FROM Header trailing garbage`,
+		`SELECT x.Foo FROM Header GROUP BY x.Foo`,
+		// Lexer edge material: unterminated string, weird runes, deep nesting.
+		`SELECT COUNT(*) FROM Header WHERE Region = 'unterminated`,
+		`SELECT COUNT(*) FROM Header WHERE ((((FiscalYear = 2012))))`,
+		"SELECT COUNT(*) FROM Header -- comment\nWHERE FiscalYear = 2012",
+		"\x00\xff SELECT",
+		`select count ( * ) from header`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, stmt string) {
+		// Cap pathological inputs: the parser is recursive-descent and a
+		// megabyte of open parens is a stack test, not a grammar test.
+		if len(stmt) > 4096 {
+			stmt = stmt[:4096]
+		}
+		st, err := Parse(db, stmt)
+		if err == nil {
+			if st == nil || st.Query == nil {
+				t.Fatalf("Parse(%q) returned nil statement without error", stmt)
+			}
+			if len(st.Query.Tables) == 0 {
+				t.Fatalf("Parse(%q) accepted a statement with no tables", stmt)
+			}
+		} else if st != nil {
+			t.Fatalf("Parse(%q) returned both a statement and an error %v", stmt, err)
+		}
+		// Error text, when present, must be valid UTF-8 even for garbage
+		// input (it quotes the offending token).
+		if err != nil && !utf8.ValidString(err.Error()) {
+			t.Fatalf("Parse(%q) produced a non-UTF-8 error: %q", stmt, err.Error())
+		}
+		_ = strings.TrimSpace(stmt)
+	})
+}

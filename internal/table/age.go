@@ -2,6 +2,9 @@ package table
 
 import (
 	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
 
 	"aggcache/internal/column"
 	"aggcache/internal/txn"
@@ -10,39 +13,80 @@ import (
 // Age moves the hot/cold boundary of a two-partition range-partitioned
 // table to newSplit and redistributes the main rows accordingly — the data
 // aging operation underlying the multi-partition scenario of paper
-// Sec. 5.4. Rows whose routing value now falls below the boundary migrate
-// from the hot main into the cold main (both are rebuilt with fresh sorted
-// dictionaries, like a delta merge).
-//
-// Both deltas must be empty (merge first): aging is an administrative
-// operation on settled data. MVCC timestamps travel with the rows, so
-// visibility is unaffected; registered merge hooks fire for both partitions
-// so the aggregate cache re-captures its visibility vectors — the cached
-// all-main values themselves are unchanged, because aging only moves rows
-// between main stores.
+// Sec. 5.4. It is a thin alias of AgeOnline: repartitioning rides the same
+// snapshot/swap machinery as the online delta merge, so it no longer stalls
+// readers for the whole rebuild.
 func (db *DB) Age(tableName string, newSplit int64) error {
+	return db.AgeOnline(tableName, newSplit)
+}
+
+// AgeOnline repartitions a hot/cold table without blocking traffic. Both
+// deltas must be empty (merge first): aging is an administrative operation
+// on settled data. The phases mirror the online merge (see online.go):
+//
+//	prepare: both partitions are frozen, each gets a delta2, and inserts
+//	    start routing against the NEW boundary so coalesced rows land in
+//	    their post-swap partition.
+//	build:   both mains are re-bucketed by the new boundary off to the
+//	    side, all rows carried with their MVCC timestamps (aging never
+//	    drops versions), while queries keep reading the frozen layout.
+//	swap:    an O(delta2 + invLog) critical section installs the new
+//	    mains, promotes the delta2 stores, moves the boundary, and brings
+//	    the primary-key index forward.
+func (db *DB) AgeOnline(tableName string, newSplit int64) error {
+	// ---- prepare (writer lock, O(1)) ----
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	t := db.tables[tableName]
 	if t == nil {
+		db.mu.Unlock()
 		return fmt.Errorf("table %s does not exist", tableName)
 	}
 	if len(t.parts) != 2 {
+		db.mu.Unlock()
 		return fmt.Errorf("table %s: aging requires exactly two partitions, got %d", tableName, len(t.parts))
 	}
 	cold, hot := t.parts[0], t.parts[1]
+	if cold.merge != nil || hot.merge != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("table %s: aging requires no online merge in flight", tableName)
+	}
 	if cold.Delta.Rows() != 0 || hot.Delta.Rows() != 0 {
+		db.mu.Unlock()
 		return fmt.Errorf("table %s: aging requires empty deltas; merge first", tableName)
 	}
 	if newSplit < cold.Hi {
+		db.mu.Unlock()
 		return fmt.Errorf("table %s: aging cannot move the boundary backwards (%d < %d)", tableName, newSplit, cold.Hi)
 	}
 	snap := db.txns.ReadSnapshot()
-	for _, h := range db.hooks {
-		h.BeforeMerge(db, t, 0, snap)
-		h.BeforeMerge(db, t, 1, snap)
+	for _, p := range []*Partition{cold, hot} {
+		p.Delta2 = newDeltaStore(&t.schema)
+		p.merge = &mergeState{}
+	}
+	split := newSplit
+	t.pendingSplit = &split
+	db.mobs.onlineActive.Add(1)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.age_online_start",
+			slog.String("table", tableName), slog.Int64("new_split", newSplit))
+	}
+	db.mu.Unlock()
+
+	abort := func() {
+		db.mu.Lock()
+		t.ageAbortLocked(db)
+		db.mu.Unlock()
+	}
+	if err := db.faults.At(FaultMergePrepared); err != nil {
+		abort()
+		return err
+	}
+	if err := db.faults.At(FaultMergeBuild); err != nil {
+		abort()
+		return err
 	}
 
+	// ---- build (no lock): re-bucket both frozen mains by the new split ----
 	type bucket struct {
 		builders []column.MainBuilder
 		create   []txn.TID
@@ -55,55 +99,176 @@ func (db *DB) Age(tableName string, newSplit int64) error {
 		}
 		return b
 	}
-	buckets := []*bucket{newBucket(), newBucket()}
-	route := func(v int64) int {
-		if v < newSplit {
-			return 0
-		}
-		return 1
-	}
-	for _, p := range []*Partition{cold, hot} {
+	buckets := [2]*bucket{newBucket(), newBucket()}
+	var rowMaps [2][]RowRef // old (part,row) -> new (part,row)
+	for pi, p := range []*Partition{cold, hot} {
 		st := p.Main
+		rm := make([]RowRef, st.Rows())
 		for row := 0; row < st.Rows(); row++ {
-			b := buckets[route(st.cols[t.routeCol].Int64(row))]
-			for i := range b.builders {
-				b.builders[i].Append(st.cols[i].Value(row))
+			d := 1
+			if st.cols[t.routeCol].Int64(row) < newSplit {
+				d = 0
 			}
-			b.create = append(b.create, st.create[row])
-			b.invalid = append(b.invalid, st.invalid[row])
+			bk := buckets[d]
+			for i := range bk.builders {
+				bk.builders[i].Append(st.cols[i].Value(row))
+			}
+			inv := txn.LoadTID(&st.invalid[row])
+			if inv > snap.High {
+				// Invalidated during the aging: carry as live; the swap
+				// replay applies the final timestamp.
+				inv = 0
+			}
+			rm[row] = RowRef{Part: d, InMain: true, Row: len(bk.create)}
+			bk.create = append(bk.create, st.create[row])
+			bk.invalid = append(bk.invalid, inv)
 		}
+		rowMaps[pi] = rm
 	}
-	for pi, b := range buckets {
+	var newMains [2]*Store
+	for pi, bk := range buckets {
 		st := &Store{
 			main:    true,
-			cols:    make([]column.Reader, len(b.builders)),
-			create:  b.create,
-			invalid: b.invalid,
+			cols:    make([]column.Reader, len(bk.builders)),
+			create:  bk.create,
+			invalid: bk.invalid,
 		}
-		for i, builder := range b.builders {
+		for i, builder := range bk.builders {
 			st.cols[i] = builder.Build()
 		}
-		t.parts[pi].Main = st
+		st.baseVis = txn.VisibilityVector(bk.create, bk.invalid, txn.Snapshot{High: snap.High})
+		newMains[pi] = st
+	}
+	// Let cache-maintenance hooks settle their baselines to the aging
+	// snapshot under the shared reader lock (the fold itself is empty:
+	// aging runs with empty deltas).
+	db.mu.RLock()
+	for _, h := range db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.FoldOnline(db, t, 0, snap)
+			oh.FoldOnline(db, t, 1, snap)
+		}
+	}
+	db.mu.RUnlock()
+
+	if err := db.faults.At(FaultMergeBeforeSwap); err != nil {
+		abort()
+		return err
+	}
+
+	// ---- swap (writer lock) ----
+	db.mu.Lock()
+	swapBegin := time.Now()
+	cur := db.txns.ReadSnapshot()
+	for _, h := range db.hooks {
+		if _, ok := h.(OnlineMergeHook); !ok {
+			h.BeforeMerge(db, t, 0, cur)
+			h.BeforeMerge(db, t, 1, cur)
+		}
+	}
+	oldMains := [2]*Store{cold.Main, hot.Main}
+	for pi, p := range []*Partition{cold, hot} {
+		p.Main = newMains[pi]
+		p.Delta = p.Delta2
+		p.Delta2 = nil
+		p.Merges++
 	}
 	cold.Hi = newSplit
 	hot.Lo = newSplit
-
-	// Re-anchor the primary-key index for both partitions.
+	t.pendingSplit = nil
+	for _, h := range db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.SwapOnline(db, t, 0, snap)
+			oh.SwapOnline(db, t, 1, snap)
+		}
+	}
+	// Replay invalidations that hit the frozen mains during the build.
+	for pi, p := range []*Partition{cold, hot} {
+		for _, rec := range p.merge.invLog {
+			if !rec.inMain {
+				continue // deltas were frozen empty; nothing to replay
+			}
+			fin := txn.LoadTID(&oldMains[pi].invalid[rec.row])
+			if fin == 0 {
+				continue
+			}
+			d := rowMaps[pi][rec.row]
+			txn.StoreTID(&t.parts[d.Part].Main.invalid[d.Row], fin)
+			atomic.AddUint64(&t.parts[d.Part].Main.invalidations, 1)
+		}
+	}
+	// Bring the primary-key index forward: moved main rows translate via
+	// the row maps, delta2 rows keep their numbering in the promoted delta.
 	if t.pkIndex != nil {
-		pkc := t.schema.MustColIndex(t.schema.PK)
-		for pi := range t.parts {
-			st := t.parts[pi].Main
-			for row := range st.create {
-				if st.invalid[row] != 0 {
-					continue
-				}
-				t.pkIndex[st.cols[pkc].Int64(row)] = RowRef{Part: pi, InMain: true, Row: row}
+		for pk, ref := range t.pkIndex {
+			if ref.D2 {
+				t.pkIndex[pk] = RowRef{Part: ref.Part, InMain: false, Row: ref.Row}
+			} else if ref.InMain {
+				t.pkIndex[pk] = rowMaps[ref.Part][ref.Row]
 			}
 		}
 	}
 	for _, h := range db.hooks {
-		h.AfterMerge(db, t, 0)
-		h.AfterMerge(db, t, 1)
+		if _, ok := h.(OnlineMergeHook); !ok {
+			h.AfterMerge(db, t, 0)
+			h.AfterMerge(db, t, 1)
+		}
 	}
-	return nil
+	cold.merge, hot.merge = nil, nil
+	db.mobs.onlineActive.Add(-1)
+	swapDur := time.Since(swapBegin)
+	db.mobs.swapLatency.Observe(swapDur)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.age_online_swap",
+			slog.String("table", tableName), slog.Int64("new_split", newSplit),
+			slog.Int("cold_rows", newMains[0].Rows()), slog.Int("hot_rows", newMains[1].Rows()),
+			slog.Int64("swap_ns", swapDur.Nanoseconds()))
+	}
+	db.mu.Unlock()
+	return db.faults.At(FaultMergeAfterSwap)
+}
+
+// ageAbortLocked rolls an unfinished online aging back: delta2 rows are
+// re-routed by the old boundary into the (empty) frozen deltas and the
+// pending split is discarded.
+func (t *Table) ageAbortLocked(db *DB) {
+	t.pendingSplit = nil
+	remap := make(map[RowRef]RowRef)
+	for pi, p := range t.parts {
+		d2 := p.Delta2
+		if d2 == nil {
+			continue
+		}
+		for row := 0; row < d2.Rows(); row++ {
+			vals := d2.Row(row)
+			dest, err := t.routeFor(vals)
+			if err != nil {
+				dest = pi // cannot happen: values were routable at insert
+			}
+			nr := t.parts[dest].Delta.appendRawRow(vals, d2.create[row], txn.LoadTID(&d2.invalid[row]))
+			remap[RowRef{Part: pi, D2: true, Row: row}] = RowRef{Part: dest, InMain: false, Row: nr}
+		}
+		p.Delta2 = nil
+		p.merge = nil
+	}
+	if t.pkIndex != nil && len(remap) > 0 {
+		for pk, ref := range t.pkIndex {
+			if !ref.D2 {
+				continue
+			}
+			if nref, ok := remap[RowRef{Part: ref.Part, D2: true, Row: ref.Row}]; ok {
+				t.pkIndex[pk] = nref
+			}
+		}
+	}
+	for _, h := range db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.AbortOnline(db, t, 0)
+			oh.AbortOnline(db, t, 1)
+		}
+	}
+	db.mobs.onlineActive.Add(-1)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.age_online_abort", slog.String("table", t.schema.Name))
+	}
 }

@@ -20,6 +20,33 @@ type MergeHook interface {
 	AfterMerge(db *DB, tbl *Table, part int)
 }
 
+// OnlineMergeHook is the concurrent-maintenance upgrade of MergeHook. A
+// hook that implements it participates in the online merge protocol:
+//
+//   - FoldOnline runs during the build phase under the shared reader lock,
+//     with the frozen old main+delta still serving queries; the hook
+//     pre-computes its maintenance delta (e.g. the fold of the frozen delta
+//     into cached aggregates) against the merge snapshot without blocking
+//     anyone.
+//   - SwapOnline runs inside the swap critical section (writer lock held),
+//     after the new main and delta are installed but before the
+//     invalidation log is replayed, so baselines captured here observe the
+//     merge snapshot exactly.
+//   - AbortOnline runs (writer lock held) after an online merge rolled
+//     back; the hook discards whatever FoldOnline staged. The store layout
+//     observable by queries is unchanged by a rollback.
+//
+// Hooks that only implement MergeHook still work with online merges: their
+// BeforeMerge/AfterMerge pair fires inside the swap critical section, which
+// is quiescent exactly like an offline merge — correct, but paying the fold
+// inside the critical section.
+type OnlineMergeHook interface {
+	MergeHook
+	FoldOnline(db *DB, tbl *Table, part int, snap txn.Snapshot)
+	SwapOnline(db *DB, tbl *Table, part int, snap txn.Snapshot)
+	AbortOnline(db *DB, tbl *Table, part int)
+}
+
 // DB is the database container: a transaction manager, a set of tables,
 // merge observers, and the coarse reader/writer lock that defines the
 // engine's concurrency contract (mutations and merges exclusive, query
@@ -32,25 +59,32 @@ type DB struct {
 	hooks  []MergeHook
 	mobs   mergeObs
 	ev     *obs.EventLog
+	faults *Faults
 }
 
 // mergeObs holds the storage layer's merge metric handles, resolved once at
 // Open (or SetMetrics) so merges update them with plain atomics.
 type mergeObs struct {
-	merges    *obs.Counter   // table.merges — delta merges completed
-	fromMain  *obs.Counter   // table.merge_rows_from_main
-	fromDelta *obs.Counter   // table.merge_rows_from_delta
-	dropped   *obs.Counter   // table.merge_rows_dropped
-	latency   *obs.Histogram // latency.merge — per-partition merge wall clock
+	merges       *obs.Counter   // table.merges — delta merges completed
+	fromMain     *obs.Counter   // table.merge_rows_from_main
+	fromDelta    *obs.Counter   // table.merge_rows_from_delta
+	dropped      *obs.Counter   // table.merge_rows_dropped
+	latency      *obs.Histogram // latency.merge — per-partition merge wall clock
+	onlineActive *obs.Gauge     // merge.online_active — online merges in flight
+	swapLatency  *obs.Histogram // latency.merge_swap — swap critical section (merge.swap_ns)
+	delta2Rows   *obs.Counter   // merge.delta2_rows — rows coalesced while merging
 }
 
 func newMergeObs(reg *obs.Registry) mergeObs {
 	return mergeObs{
-		merges:    reg.Counter("table.merges"),
-		fromMain:  reg.Counter("table.merge_rows_from_main"),
-		fromDelta: reg.Counter("table.merge_rows_from_delta"),
-		dropped:   reg.Counter("table.merge_rows_dropped"),
-		latency:   reg.Histogram("latency.merge"),
+		merges:       reg.Counter("table.merges"),
+		fromMain:     reg.Counter("table.merge_rows_from_main"),
+		fromDelta:    reg.Counter("table.merge_rows_from_delta"),
+		dropped:      reg.Counter("table.merge_rows_dropped"),
+		latency:      reg.Histogram("latency.merge"),
+		onlineActive: reg.Gauge("merge.online_active"),
+		swapLatency:  reg.Histogram("latency.merge_swap"),
+		delta2Rows:   reg.Counter("merge.delta2_rows"),
 	}
 }
 
@@ -98,9 +132,26 @@ func (db *DB) register(t *Table) error {
 	if _, ok := db.tables[t.Name()]; ok {
 		return fmt.Errorf("table %s already exists", t.Name())
 	}
+	t.faults = db.faults
 	db.tables[t.Name()] = t
 	db.order = append(db.order, t.Name())
 	return nil
+}
+
+// MergeActive reports whether any partition of the named table has an
+// online merge in flight. Callers may hold either side of the database
+// lock; merge state only changes under the writer lock.
+func (db *DB) MergeActive(tableName string) bool {
+	t := db.tables[tableName]
+	if t == nil {
+		return false
+	}
+	for _, p := range t.parts {
+		if p.merge != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Table returns a table by name, or nil.
@@ -145,6 +196,14 @@ func (db *DB) mergeLocked(tableName string, part int, keepInvalidated bool) (Mer
 	t := db.tables[tableName]
 	if t == nil {
 		return MergeStats{}, fmt.Errorf("table %s does not exist", tableName)
+	}
+	if part < 0 || part >= len(t.parts) {
+		return MergeStats{}, fmt.Errorf("table %s: merge of unknown partition %d", tableName, part)
+	}
+	// Reject before the hooks fire: a hook that folded the delta for a
+	// merge that then errors out would leave cache entries desynchronized.
+	if t.parts[part].MergeActive() {
+		return MergeStats{}, fmt.Errorf("table %s: partition %d has an online merge in flight", tableName, part)
 	}
 	snap := db.txns.ReadSnapshot()
 	begin := time.Now()

@@ -1,0 +1,141 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPoint names an injection site inside the storage engine. The online
+// merge threads its state machine through these points so tests can force
+// the scheduler interleavings and crashes that are too rare to hit
+// organically.
+type FaultPoint int
+
+const (
+	// FaultMergePrepared fires right after an online merge installed
+	// delta2 and froze the partition, before any building happens.
+	FaultMergePrepared FaultPoint = iota
+	// FaultMergeBuild fires inside the off-line build phase, while
+	// concurrent readers and writers are live.
+	FaultMergeBuild
+	// FaultMergeBeforeSwap fires after the build completed but before the
+	// swap critical section; a crash here must leave the old partition
+	// fully intact and re-mergeable.
+	FaultMergeBeforeSwap
+	// FaultMergeAfterSwap fires once the swap committed; a crash here must
+	// lose nothing — delta2 is already the partition's delta.
+	FaultMergeAfterSwap
+	// FaultWriterAppend fires on every row insert — the slow-writer
+	// injection point.
+	FaultWriterAppend
+	numFaultPoints
+)
+
+// String names the fault point for error messages and logs.
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultMergePrepared:
+		return "merge_prepared"
+	case FaultMergeBuild:
+		return "merge_build"
+	case FaultMergeBeforeSwap:
+		return "merge_before_swap"
+	case FaultMergeAfterSwap:
+		return "merge_after_swap"
+	case FaultWriterAppend:
+		return "writer_append"
+	}
+	return fmt.Sprintf("fault_point(%d)", int(p))
+}
+
+// ErrInjected is returned (wrapped) when an armed fault point crashes an
+// operation. Tests match it with errors.Is.
+var ErrInjected = errors.New("table: injected fault")
+
+// FaultSpec configures one injection point.
+type FaultSpec struct {
+	// Prob is the per-hit firing probability in [0,1]; 1 fires every time
+	// the point is reached (once Skip hits are consumed).
+	Prob float64
+	// Delay is slept when the point fires — the delay/slow-writer knob.
+	Delay time.Duration
+	// Crash aborts the operation with ErrInjected when the point fires.
+	Crash bool
+	// Skip suppresses the first Skip firings, so a test can crash the N-th
+	// merge rather than the first.
+	Skip int
+}
+
+// Faults is a deterministic, seed-driven fault injector. The zero of the
+// engine is a nil *Faults, which every point check treats as "disabled"
+// with a single branch. All decisions flow from the seed handed to
+// NewFaults, so a failing schedule reproduces from its seed alone.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg [numFaultPoints]*FaultSpec
+}
+
+// NewFaults returns an injector whose probabilistic decisions are driven by
+// the given seed.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set arms an injection point; a zero spec disarms it.
+func (f *Faults) Set(p FaultPoint, spec FaultSpec) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if spec == (FaultSpec{}) {
+		f.cfg[p] = nil
+		return
+	}
+	s := spec
+	f.cfg[p] = &s
+}
+
+// At evaluates an injection point: it sleeps the configured delay when the
+// point fires and returns a wrapped ErrInjected when the point is armed to
+// crash. Nil receivers and unarmed points return nil immediately.
+func (f *Faults) At(p FaultPoint) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	spec := f.cfg[p]
+	if spec == nil {
+		f.mu.Unlock()
+		return nil
+	}
+	if spec.Prob < 1 && f.rng.Float64() >= spec.Prob {
+		f.mu.Unlock()
+		return nil
+	}
+	if spec.Skip > 0 {
+		spec.Skip--
+		f.mu.Unlock()
+		return nil
+	}
+	delay, crash := spec.Delay, spec.Crash
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if crash {
+		return fmt.Errorf("%w at %s", ErrInjected, p)
+	}
+	return nil
+}
+
+// SetFaults installs a fault injector on the database and all its current
+// and future tables (nil removes it). Call it during test setup, before
+// concurrent use.
+func (db *DB) SetFaults(f *Faults) {
+	db.faults = f
+	for _, t := range db.tables {
+		t.faults = f
+	}
+}

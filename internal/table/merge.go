@@ -15,6 +15,13 @@ type MergeStats struct {
 	FromDelta int
 	// Dropped counts invalidated or aborted rows removed by the merge.
 	Dropped int
+	// RetainedForReaders counts invalidated rows an online merge kept
+	// because a pinned read snapshot predating the invalidation could still
+	// see them (TID-watermark handling; always 0 for offline merges).
+	RetainedForReaders int
+	// Delta2Rows counts rows that coalesced in the second delta while an
+	// online merge was building; they become the partition's new delta.
+	Delta2Rows int
 }
 
 // Merge runs the delta-merge operation on one partition: a new main store is
@@ -33,6 +40,9 @@ func (t *Table) Merge(part int, keepInvalidated bool) (MergeStats, error) {
 		return MergeStats{}, fmt.Errorf("table %s: merge of unknown partition %d", t.schema.Name, part)
 	}
 	p := t.parts[part]
+	if p.merge != nil {
+		return MergeStats{}, fmt.Errorf("table %s: partition %d has an online merge in flight", t.schema.Name, part)
+	}
 	var stats MergeStats
 
 	builders := make([]column.MainBuilder, len(t.schema.Cols))

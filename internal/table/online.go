@@ -1,0 +1,479 @@
+package table
+
+import (
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/column"
+	"aggcache/internal/txn"
+)
+
+// This file implements the online (non-blocking) delta merge. The offline
+// merge in merge.go rebuilds a partition under the exclusive writer lock,
+// stalling every reader for the full rebuild; the online merge splits the
+// operation into three phases so that only an O(delta2 + logs) critical
+// section ever blocks traffic:
+//
+//	prepare (writer lock, O(1)):
+//	    The partition's main and delta are frozen as the merge input
+//	    snapshot S0 (the lock contract guarantees no transaction is open,
+//	    so S0 covers every row in them) and an empty delta2 store is
+//	    installed. From here on writers append to delta2, invalidate
+//	    frozen rows in place through atomic TID stores (logged in invLog),
+//	    and queries read main + delta + delta2.
+//	build (no lock):
+//	    The new main is encoded off to the side from the frozen stores.
+//	    Rows invalidated at or below the reclamation horizon — the oldest
+//	    pinned read snapshot — are dropped; rows invalidated above it are
+//	    retained with their timestamps so pinned readers straddling the
+//	    swap keep a consistent view; rows invalidated after S0 are carried
+//	    as live and pick up their final timestamp during the swap replay.
+//	    Registered OnlineMergeHooks then pre-compute their maintenance
+//	    folds under the shared reader lock.
+//	swap (writer lock, O(delta2 + invLog + pkLog)):
+//	    The new main is installed, delta2 becomes the delta, hooks capture
+//	    their new baselines, the invalidation log is replayed onto the new
+//	    main, and the primary-key index is brought forward.
+//
+// Aborting before the swap folds delta2 back into the delta and leaves the
+// partition exactly re-mergeable; aborting after the swap is impossible —
+// the swap is the commit point.
+
+// OnlineMerge is an in-flight online delta merge on one partition. Obtain
+// one with DB.StartOnlineMerge, then call Build and Finish (or Abort). The
+// convenience wrappers MergeOnline/MergeTablesOnline drive the phases for
+// callers that do not need to interleave their own work.
+type OnlineMerge struct {
+	db    *DB
+	t     *Table
+	p     *Partition
+	name  string
+	part  int
+	keep  bool
+	snap  txn.Snapshot // S0: the frozen stores' content snapshot
+	hor   txn.TID      // reclamation horizon (oldest pinned read snapshot)
+	begin time.Time
+	built *mergedBuild
+	done  bool
+}
+
+// mergedBuild is the output of the off-line build phase.
+type mergedBuild struct {
+	newMain *Store
+	// mainMap/deltaMap translate old main/delta row numbers to new-main
+	// rows (-1 for dropped rows); the swap replay and primary-key
+	// bring-forward use them.
+	mainMap  []int
+	deltaMap []int
+	// newPK is the off-line-built primary-key index over the new main
+	// (single-partition tables only; nil otherwise).
+	newPK map[int64]RowRef
+	stats MergeStats
+}
+
+// StartOnlineMerge freezes one partition and installs the write-coalescing
+// delta2 — the O(1) prepare phase. The returned handle must be driven to
+// Finish or Abort.
+func (db *DB) StartOnlineMerge(tableName string, part int, keepInvalidated bool) (*OnlineMerge, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.startOnlineMergeLocked(tableName, part, keepInvalidated)
+}
+
+func (db *DB) startOnlineMergeLocked(tableName string, part int, keepInvalidated bool) (*OnlineMerge, error) {
+	t := db.tables[tableName]
+	if t == nil {
+		return nil, fmt.Errorf("table %s does not exist", tableName)
+	}
+	if part < 0 || part >= len(t.parts) {
+		return nil, fmt.Errorf("table %s: merge of unknown partition %d", tableName, part)
+	}
+	p := t.parts[part]
+	if p.merge != nil {
+		return nil, fmt.Errorf("table %s: partition %d already has an online merge in flight", tableName, part)
+	}
+	om := &OnlineMerge{
+		db: db, t: t, p: p, name: tableName, part: part, keep: keepInvalidated,
+		snap:  db.txns.ReadSnapshot(),
+		hor:   db.txns.OldestPinned(),
+		begin: time.Now(),
+	}
+	p.Delta2 = newDeltaStore(&t.schema)
+	p.merge = &mergeState{}
+	db.mobs.onlineActive.Add(1)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.merge_online_start",
+			slog.String("table", tableName), slog.Int("part", part),
+			slog.Int("delta_rows", p.Delta.Rows()), slog.Uint64("snap_high", uint64(om.snap.High)))
+	}
+	if err := db.faults.At(FaultMergePrepared); err != nil {
+		om.abortLocked()
+		return nil, err
+	}
+	return om, nil
+}
+
+// Build runs the off-line phase: it encodes the new main from the frozen
+// stores without holding any lock, then lets OnlineMergeHooks pre-compute
+// their maintenance folds under the shared reader lock. Concurrent readers
+// and writers proceed throughout. On error the caller must Abort.
+func (om *OnlineMerge) Build() error {
+	if om.done || om.p.merge == nil {
+		return fmt.Errorf("table %s: online merge already finished", om.name)
+	}
+	if err := om.db.faults.At(FaultMergeBuild); err != nil {
+		return err
+	}
+	om.built = om.t.buildOnline(om.part, om.snap, om.hor, om.keep)
+	om.db.mu.RLock()
+	for _, h := range om.db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.FoldOnline(om.db, om.t, om.part, om.snap)
+		}
+	}
+	om.db.mu.RUnlock()
+	return nil
+}
+
+// buildOnline encodes the new main store from the frozen main and delta.
+// It runs without the database lock: the frozen stores receive no appends
+// (writers have been redirected to delta2) and their create timestamps are
+// settled, so only invalid[] slots can change underneath — those are read
+// atomically, and any value observed above S0 is normalized to "live here,
+// final timestamp applied at swap" via the invalidation log replay.
+func (t *Table) buildOnline(part int, snap txn.Snapshot, horizon txn.TID, keep bool) *mergedBuild {
+	p := t.parts[part]
+	b := &mergedBuild{}
+	builders := make([]column.MainBuilder, len(t.schema.Cols))
+	for i, c := range t.schema.Cols {
+		builders[i] = column.NewMainBuilder(c.Kind)
+	}
+	var create, invalid []txn.TID
+	appendFrom := func(st *Store, fromMain bool) []int {
+		rowMap := make([]int, st.Rows())
+		for row := 0; row < st.Rows(); row++ {
+			rowMap[row] = -1
+			if st.create[row] == txn.Aborted {
+				b.stats.Dropped++
+				continue
+			}
+			inv := txn.LoadTID(&st.invalid[row])
+			if inv > snap.High {
+				// Invalidated during the merge: carry as live; the swap
+				// replay copies the final timestamp (or leaves 0 if the
+				// invalidating transaction aborts).
+				inv = 0
+			}
+			if inv != 0 && !keep {
+				if inv <= horizon {
+					b.stats.Dropped++
+					continue
+				}
+				// A pinned read snapshot older than the invalidation can
+				// still see this version: retain it, timestamps intact.
+				b.stats.RetainedForReaders++
+			}
+			for i := range builders {
+				builders[i].Append(st.cols[i].Value(row))
+			}
+			rowMap[row] = len(create)
+			create = append(create, st.create[row])
+			invalid = append(invalid, inv)
+			if fromMain {
+				b.stats.FromMain++
+			} else {
+				b.stats.FromDelta++
+			}
+		}
+		return rowMap
+	}
+	b.mainMap = appendFrom(p.Main, true)
+	b.deltaMap = appendFrom(p.Delta, false)
+
+	newMain := &Store{
+		main:    true,
+		cols:    make([]column.Reader, len(builders)),
+		create:  create,
+		invalid: invalid,
+	}
+	for i, bd := range builders {
+		newMain.cols[i] = bd.Build()
+	}
+	// Pre-render the S0 visibility vector so the swap critical section can
+	// hand cache-maintenance hooks their new baseline in O(1).
+	newMain.baseVis = txn.VisibilityVector(create, invalid, txn.Snapshot{High: snap.High})
+	b.newMain = newMain
+
+	if t.pkIndex != nil && len(t.parts) == 1 {
+		b.newPK = make(map[int64]RowRef, b.stats.FromMain+b.stats.FromDelta)
+		pkc := t.schema.MustColIndex(t.schema.PK)
+		for row := range create {
+			if invalid[row] != 0 {
+				continue
+			}
+			b.newPK[newMain.cols[pkc].Int64(row)] = RowRef{Part: part, InMain: true, Row: row}
+		}
+	}
+	return b
+}
+
+// translate maps a primary-key log ref into post-swap coordinates.
+func (b *mergedBuild) translate(ref RowRef, part int) (RowRef, bool) {
+	if ref.D2 {
+		// Delta2 became the delta with identical row numbering.
+		return RowRef{Part: part, InMain: false, Row: ref.Row}, true
+	}
+	m := b.deltaMap
+	if ref.InMain {
+		m = b.mainMap
+	}
+	nr := m[ref.Row]
+	if nr < 0 {
+		return RowRef{}, false
+	}
+	return RowRef{Part: part, InMain: true, Row: nr}, true
+}
+
+// Finish runs the swap critical section and commits the merge. On an
+// injected crash before the swap the merge is rolled back and the old
+// partition left intact; after the swap the new state is already durable
+// and only the error is surfaced.
+func (om *OnlineMerge) Finish() (MergeStats, error) {
+	if err := om.db.faults.At(FaultMergeBeforeSwap); err != nil {
+		om.Abort()
+		return MergeStats{}, err
+	}
+	om.db.mu.Lock()
+	stats, err := om.finishLocked()
+	om.db.mu.Unlock()
+	if err != nil {
+		return stats, err
+	}
+	if ferr := om.db.faults.At(FaultMergeAfterSwap); ferr != nil {
+		return stats, ferr
+	}
+	return stats, nil
+}
+
+// finishLocked is the swap critical section; the caller holds the writer
+// lock. The lock contract guarantees quiescence: every transaction has
+// resolved, so the invalidation and primary-key logs replay final values.
+func (om *OnlineMerge) finishLocked() (MergeStats, error) {
+	db, t, p, part := om.db, om.t, om.p, om.part
+	if om.done || p.merge == nil {
+		return MergeStats{}, fmt.Errorf("table %s: online merge already finished", om.name)
+	}
+	if om.built == nil {
+		return MergeStats{}, fmt.Errorf("table %s: online merge not built", om.name)
+	}
+	swapBegin := time.Now()
+	cur := db.txns.ReadSnapshot()
+	// Legacy hooks fold with the old stores still in place — offline-merge
+	// semantics compressed into the critical section.
+	for _, h := range db.hooks {
+		if _, ok := h.(OnlineMergeHook); !ok {
+			h.BeforeMerge(db, t, part, cur)
+		}
+	}
+	oldMain, oldDelta, d2 := p.Main, p.Delta, p.Delta2
+	stats := om.built.stats
+	stats.Delta2Rows = d2.Rows()
+	p.Main = om.built.newMain
+	p.Delta = d2
+	p.Delta2 = nil
+	p.Merges++
+	// Online hooks capture the pre-replay baseline: the new main's
+	// invalidation counter is still 0 and its rows match baseVis at S0.
+	for _, h := range db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.SwapOnline(db, t, part, om.snap)
+		}
+	}
+	// Replay invalidations that hit the frozen stores during the build:
+	// copy each row's final timestamp into the new main and tick the dirty
+	// counter so cache compensation notices.
+	for _, rec := range p.merge.invLog {
+		src := oldDelta
+		m := om.built.deltaMap
+		if rec.inMain {
+			src, m = oldMain, om.built.mainMap
+		}
+		fin := txn.LoadTID(&src.invalid[rec.row])
+		if fin == 0 {
+			continue // invalidating transaction aborted
+		}
+		if nr := m[rec.row]; nr >= 0 {
+			txn.StoreTID(&p.Main.invalid[nr], fin)
+			atomic.AddUint64(&p.Main.invalidations, 1)
+		}
+	}
+	// Bring the primary-key index forward.
+	if t.pkIndex != nil {
+		if om.built.newPK != nil {
+			// Single-partition: replay logged mutations onto the
+			// off-line-built index — O(log), not O(rows).
+			for _, op := range p.merge.pkLog {
+				if op.del {
+					delete(om.built.newPK, op.pk)
+					continue
+				}
+				if ref, ok := om.built.translate(op.ref, part); ok {
+					om.built.newPK[op.pk] = ref
+				} else {
+					delete(om.built.newPK, op.pk)
+				}
+			}
+			t.pkIndex = om.built.newPK
+		} else {
+			// Partitioned table: rewrite this partition's entries in place.
+			for pk, ref := range t.pkIndex {
+				if ref.Part != part {
+					continue
+				}
+				if nref, ok := om.built.translate(ref, part); ok {
+					t.pkIndex[pk] = nref
+				} else {
+					delete(t.pkIndex, pk)
+				}
+			}
+		}
+	}
+	for _, h := range db.hooks {
+		if _, ok := h.(OnlineMergeHook); !ok {
+			h.AfterMerge(db, t, part)
+		}
+	}
+	p.merge = nil
+	om.built = nil
+	om.done = true
+
+	db.mobs.merges.Inc()
+	db.mobs.fromMain.Add(int64(stats.FromMain))
+	db.mobs.fromDelta.Add(int64(stats.FromDelta))
+	db.mobs.dropped.Add(int64(stats.Dropped))
+	db.mobs.delta2Rows.Add(int64(stats.Delta2Rows))
+	db.mobs.onlineActive.Add(-1)
+	swapDur := time.Since(swapBegin)
+	db.mobs.swapLatency.Observe(swapDur)
+	db.mobs.latency.Observe(time.Since(om.begin))
+	if db.ev.Enabled() {
+		db.ev.Emit("table.merge_online_swap",
+			slog.String("table", om.name), slog.Int("part", part),
+			slog.Int("from_main", stats.FromMain), slog.Int("from_delta", stats.FromDelta),
+			slog.Int("dropped", stats.Dropped), slog.Int("retained", stats.RetainedForReaders),
+			slog.Int("delta2_rows", stats.Delta2Rows), slog.Int64("swap_ns", swapDur.Nanoseconds()))
+	}
+	return stats, nil
+}
+
+// Abort rolls an unfinished online merge back: the new main is discarded
+// and the delta2 rows are folded into the delta, leaving the partition
+// exactly as if the merge had never started (and re-mergeable). Aborting an
+// already-finished merge is a no-op.
+func (om *OnlineMerge) Abort() {
+	om.db.mu.Lock()
+	defer om.db.mu.Unlock()
+	om.abortLocked()
+}
+
+func (om *OnlineMerge) abortLocked() {
+	db, t, p := om.db, om.t, om.p
+	if om.done || p.merge == nil {
+		return
+	}
+	d2 := p.Delta2
+	remap := make([]RowRef, d2.Rows())
+	for row := 0; row < d2.Rows(); row++ {
+		nr := p.Delta.appendRawRow(d2.Row(row), d2.create[row], txn.LoadTID(&d2.invalid[row]))
+		remap[row] = RowRef{Part: om.part, InMain: false, Row: nr}
+	}
+	if t.pkIndex != nil && d2.Rows() > 0 {
+		for pk, ref := range t.pkIndex {
+			if ref.Part == om.part && ref.D2 {
+				t.pkIndex[pk] = remap[ref.Row]
+			}
+		}
+	}
+	p.Delta2 = nil
+	p.merge = nil
+	om.built = nil
+	om.done = true
+	for _, h := range db.hooks {
+		if oh, ok := h.(OnlineMergeHook); ok {
+			oh.AbortOnline(db, t, om.part)
+		}
+	}
+	db.mobs.onlineActive.Add(-1)
+	if db.ev.Enabled() {
+		db.ev.Emit("table.merge_online_abort",
+			slog.String("table", om.name), slog.Int("part", om.part),
+			slog.Int("delta2_rows", d2.Rows()))
+	}
+}
+
+// MergeOnline runs a complete online merge on one partition: prepare,
+// off-line build, swap. Readers and writers are only excluded during the
+// two O(small) critical sections.
+func (db *DB) MergeOnline(tableName string, part int, keepInvalidated bool) (MergeStats, error) {
+	om, err := db.StartOnlineMerge(tableName, part, keepInvalidated)
+	if err != nil {
+		return MergeStats{}, err
+	}
+	if err := om.Build(); err != nil {
+		om.Abort()
+		return MergeStats{}, err
+	}
+	return om.Finish()
+}
+
+// MergeTablesOnline merges partition 0 of several tables with all builds
+// running online and a single combined swap critical section — the online
+// counterpart of MergeTables' synchronized merge (paper Sec. 5.2): related
+// tables' deltas empty out atomically, so join pruning sees them together.
+//
+// All prepares happen under one writer lock so every table freezes at the
+// same snapshot S0: cache-maintenance hooks settle entries to a single
+// baseline, which their staged cross-table folds depend on.
+func (db *DB) MergeTablesOnline(keepInvalidated bool, tableNames ...string) error {
+	var oms []*OnlineMerge
+	abortAll := func() {
+		for _, om := range oms {
+			om.Abort()
+		}
+	}
+	db.mu.Lock()
+	for _, name := range tableNames {
+		om, err := db.startOnlineMergeLocked(name, 0, keepInvalidated)
+		if err != nil {
+			for _, prev := range oms {
+				prev.abortLocked()
+			}
+			db.mu.Unlock()
+			return err
+		}
+		oms = append(oms, om)
+	}
+	db.mu.Unlock()
+	for _, om := range oms {
+		if err := om.Build(); err != nil {
+			abortAll()
+			return err
+		}
+	}
+	if err := db.faults.At(FaultMergeBeforeSwap); err != nil {
+		abortAll()
+		return err
+	}
+	db.mu.Lock()
+	for _, om := range oms {
+		if _, err := om.finishLocked(); err != nil {
+			db.mu.Unlock()
+			abortAll()
+			return err
+		}
+	}
+	db.mu.Unlock()
+	return db.faults.At(FaultMergeAfterSwap)
+}

@@ -1,6 +1,8 @@
 package table
 
 import (
+	"sync/atomic"
+
 	"aggcache/internal/column"
 	"aggcache/internal/txn"
 	"aggcache/internal/vec"
@@ -19,8 +21,15 @@ type Store struct {
 	// aggregate cache compares it against the value captured at entry
 	// creation to skip visibility-vector recomputation when no row could
 	// have been invalidated — the cheap dirty check behind the paper's
-	// per-entry dirty counter (Fig. 2).
+	// per-entry dirty counter (Fig. 2). Accessed atomically: the online
+	// merge bumps it during the swap replay while unlocked observers may
+	// poll it.
 	invalidations uint64
+	// baseVis is set only on main stores produced by an online merge: the
+	// visibility vector of the new main at the merge snapshot, computed by
+	// the off-line builder so the swap critical section can hand it to
+	// cache-maintenance hooks without an O(rows) render.
+	baseVis *vec.BitSet
 }
 
 func newDeltaStore(s *Schema) *Store {
@@ -93,10 +102,31 @@ func (st *Store) appendRow(vals []column.Value, tid txn.TID) int {
 	return len(st.create) - 1
 }
 
+// appendRawRow adds a row with explicit MVCC timestamps; delta stores only.
+// The online merge uses it to fold delta2 rows back into the delta when a
+// merge is aborted, preserving the rows' original visibility.
+func (st *Store) appendRawRow(vals []column.Value, create, invalid txn.TID) int {
+	if st.main {
+		panic("table: append to main store")
+	}
+	for i, a := range st.apps {
+		a.Append(vals[i])
+	}
+	st.create = append(st.create, create)
+	st.invalid = append(st.invalid, invalid)
+	return len(st.create) - 1
+}
+
 // Invalidations returns the store's invalidation event counter. It only
 // ever grows while the store is live (aborted invalidations keep their
 // tick), so an unchanged counter guarantees no new invalidation.
-func (st *Store) Invalidations() uint64 { return st.invalidations }
+func (st *Store) Invalidations() uint64 { return atomic.LoadUint64(&st.invalidations) }
+
+// MergeBaseVisibility returns the visibility vector of this main store at
+// the snapshot of the online merge that produced it, or nil for stores that
+// were not built by an online merge. Cache-maintenance hooks clone it during
+// the swap critical section instead of rendering an O(rows) vector there.
+func (st *Store) MergeBaseVisibility() *vec.BitSet { return st.baseVis }
 
 // MemBytes estimates the store's heap footprint: column payloads plus the
 // two MVCC timestamp arrays.
@@ -125,12 +155,56 @@ type Partition struct {
 	Name  string
 	Main  *Store
 	Delta *Store
+	// Delta2 is the write-coalescing second delta installed while an online
+	// merge (or online aging) is running on this partition: Main and Delta
+	// are frozen as the merge input snapshot, concurrent writers append
+	// here, and the swap promotes this store to the new Delta. Nil when no
+	// merge is active.
+	Delta2 *Store
 	// Range restricts the partition to routing-column values in
 	// [Lo, Hi); both bounds are ignored when the table has one partition.
 	Lo, Hi int64
 	// Merges counts completed delta-merge operations.
 	Merges uint64
+	// merge is the bookkeeping of the in-flight online merge: logs of the
+	// mutations that hit the frozen stores while the new main was being
+	// built off to the side, replayed during the swap critical section.
+	merge *mergeState
 }
 
-// Stores lists the partition's physical stores, main first.
-func (p *Partition) Stores() []*Store { return []*Store{p.Main, p.Delta} }
+// mergeState tracks mutations against a partition whose stores are frozen
+// by an in-flight online merge.
+type mergeState struct {
+	// invLog records invalidations of frozen-store rows (writers update the
+	// live invalid[] slot in place; the log tells the swap which new-main
+	// rows need the final timestamp copied over).
+	invLog []invRec
+	// pkLog records primary-key index mutations in order, so the swap can
+	// replay them onto the off-line-built index of the new main. Only
+	// maintained for single-partition tables; partitioned tables fix the
+	// shared index in place at swap.
+	pkLog []pkOp
+}
+
+type invRec struct {
+	inMain bool
+	row    int
+}
+
+type pkOp struct {
+	del bool
+	pk  int64
+	ref RowRef
+}
+
+// MergeActive reports whether an online merge is running on this partition.
+func (p *Partition) MergeActive() bool { return p.merge != nil }
+
+// Stores lists the partition's physical stores, main first. While an online
+// merge is active the write-coalescing delta2 is included.
+func (p *Partition) Stores() []*Store {
+	if p.Delta2 != nil {
+		return []*Store{p.Main, p.Delta, p.Delta2}
+	}
+	return []*Store{p.Main, p.Delta}
+}

@@ -2,15 +2,19 @@ package table
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"aggcache/internal/column"
 	"aggcache/internal/txn"
 )
 
-// RowRef locates a row version inside a table.
+// RowRef locates a row version inside a table. D2 marks rows that were
+// appended to the write-coalescing delta2 while an online merge was running
+// on the partition; the merge swap (or abort) rewrites such refs.
 type RowRef struct {
 	Part   int
 	InMain bool
+	D2     bool
 	Row    int
 }
 
@@ -23,6 +27,13 @@ type Table struct {
 	routeCol int
 	// pkIndex maps primary-key values to the latest row version.
 	pkIndex map[int64]RowRef
+	// pendingSplit, when non-nil, is the hot/cold boundary an in-flight
+	// online aging is moving the table to; inserts route against it so
+	// delta2 rows land in their post-swap partition.
+	pendingSplit *int64
+	// faults is the database's fault-injection hook set (nil in
+	// production); Insert consults the WriterAppend point.
+	faults *Faults
 }
 
 // New creates a single-partition table.
@@ -89,12 +100,23 @@ func (t *Table) Partitions() []*Partition { return t.parts }
 // Partition returns partition i.
 func (t *Table) Partition(i int) *Partition { return t.parts[i] }
 
-// routeFor picks the partition an inserted row belongs to.
+// routeFor picks the partition an inserted row belongs to. While an online
+// aging is in flight the pending boundary wins, so new rows land in the
+// partition they will belong to after the swap.
 func (t *Table) routeFor(vals []column.Value) (int, error) {
 	if t.routeCol < 0 {
 		return 0, nil
 	}
 	v := vals[t.routeCol]
+	if s := t.pendingSplit; s != nil {
+		if v.I >= t.parts[0].Lo && v.I < *s {
+			return 0, nil
+		}
+		if v.I >= *s && v.I < t.parts[1].Hi {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("table %s: value %d outside every partition range", t.schema.Name, v.I)
+	}
 	for i, p := range t.parts {
 		if v.I >= p.Lo && v.I < p.Hi {
 			return i, nil
@@ -120,6 +142,9 @@ func (t *Table) Insert(tx *txn.Txn, vals []column.Value) (RowRef, error) {
 	if err != nil {
 		return RowRef{}, err
 	}
+	if err := t.faults.At(FaultWriterAppend); err != nil {
+		return RowRef{}, err
+	}
 	var pk int64
 	var hadOld bool
 	var oldRef RowRef
@@ -129,23 +154,47 @@ func (t *Table) Insert(tx *txn.Txn, vals []column.Value) (RowRef, error) {
 			return RowRef{}, fmt.Errorf("table %s: duplicate primary key %d", t.schema.Name, pk)
 		}
 	}
-	st := t.parts[pi].Delta
+	p := t.parts[pi]
+	st, d2 := p.Delta, false
+	if p.merge != nil {
+		// An online merge froze the delta; new rows coalesce in delta2.
+		st, d2 = p.Delta2, true
+	}
 	row := st.appendRow(vals, tx.ID())
-	ref := RowRef{Part: pi, InMain: false, Row: row}
+	ref := RowRef{Part: pi, InMain: false, D2: d2, Row: row}
 	if t.pkIndex != nil {
-		t.pkIndex[pk] = ref
+		t.pkSet(pk, ref)
 	}
 	tx.OnAbort(func() {
 		st.create[row] = txn.Aborted
 		if t.pkIndex != nil {
 			if hadOld {
-				t.pkIndex[pk] = oldRef
+				t.pkSet(pk, oldRef)
 			} else {
-				delete(t.pkIndex, pk)
+				t.pkDel(pk)
 			}
 		}
 	})
 	return ref, nil
+}
+
+// pkSet updates the primary-key index, logging the mutation when an online
+// merge of a single-partition table needs to replay it at swap time.
+func (t *Table) pkSet(pk int64, ref RowRef) {
+	t.pkIndex[pk] = ref
+	if len(t.parts) == 1 && t.parts[0].merge != nil {
+		m := t.parts[0].merge
+		m.pkLog = append(m.pkLog, pkOp{pk: pk, ref: ref})
+	}
+}
+
+// pkDel removes a primary-key index entry; the counterpart of pkSet.
+func (t *Table) pkDel(pk int64) {
+	delete(t.pkIndex, pk)
+	if len(t.parts) == 1 && t.parts[0].merge != nil {
+		m := t.parts[0].merge
+		m.pkLog = append(m.pkLog, pkOp{del: true, pk: pk})
+	}
 }
 
 // LookupPK returns the latest row version for a primary key.
@@ -167,6 +216,11 @@ func (t *Table) store(ref RowRef) *Store {
 	if ref.InMain {
 		return p.Main
 	}
+	if ref.D2 && p.Delta2 != nil {
+		return p.Delta2
+	}
+	// A D2 ref after the swap resolves to the delta: the swap promoted the
+	// delta2 store (same pointer, same row numbering) to be the new delta.
 	return p.Delta
 }
 
@@ -199,7 +253,7 @@ func (t *Table) Update(tx *txn.Txn, pk int64, set map[string]column.Value) error
 	}
 	// Reinsert the new version. Temporarily drop the index entry so Insert
 	// does not see a duplicate key; Insert re-registers it.
-	delete(t.pkIndex, pk)
+	t.pkDel(pk)
 	if _, err := t.Insert(tx, vals); err != nil {
 		return err
 	}
@@ -218,19 +272,27 @@ func (t *Table) Delete(tx *txn.Txn, pk int64) error {
 	if err := t.invalidate(tx, ref); err != nil {
 		return err
 	}
-	delete(t.pkIndex, pk)
-	tx.OnAbort(func() { t.pkIndex[pk] = ref })
+	t.pkDel(pk)
+	tx.OnAbort(func() { t.pkSet(pk, ref) })
 	return nil
 }
 
+// invalidate stamps the row's invalidating transaction. Writes go through
+// txn.StoreTID because an online merge builder may be scanning the frozen
+// store's MVCC arrays without the database lock; when the target row
+// belongs to a frozen store of a merge-active partition the mutation is
+// also logged so the swap can copy the final timestamp into the new main.
 func (t *Table) invalidate(tx *txn.Txn, ref RowRef) error {
 	st := t.store(ref)
-	if st.invalid[ref.Row] != 0 {
+	if txn.LoadTID(&st.invalid[ref.Row]) != 0 {
 		return fmt.Errorf("table %s: row already invalidated", t.schema.Name)
 	}
-	st.invalid[ref.Row] = tx.ID()
-	st.invalidations++
-	tx.OnAbort(func() { st.invalid[ref.Row] = 0 })
+	txn.StoreTID(&st.invalid[ref.Row], tx.ID())
+	atomic.AddUint64(&st.invalidations, 1)
+	if p := t.parts[ref.Part]; p.merge != nil && !ref.D2 {
+		p.merge.invLog = append(p.merge.invLog, invRec{inMain: ref.InMain, row: ref.Row})
+	}
+	tx.OnAbort(func() { txn.StoreTID(&st.invalid[ref.Row], 0) })
 	return nil
 }
 
@@ -281,7 +343,9 @@ func (t *Table) BulkLoadMain(part int, rows [][]column.Value, tids []txn.TID) er
 func (t *Table) MemBytes() uint64 {
 	var m uint64
 	for _, p := range t.parts {
-		m += p.Main.MemBytes() + p.Delta.MemBytes()
+		for _, st := range p.Stores() {
+			m += st.MemBytes()
+		}
 	}
 	return m
 }

@@ -11,6 +11,8 @@ package txn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"aggcache/internal/vec"
 )
@@ -55,11 +57,17 @@ type Manager struct {
 	next      TID
 	watermark TID
 	resolved  map[TID]bool // resolved TIDs above the watermark
+	// pins counts active read snapshots per watermark value. The online
+	// delta merge consults the oldest pin as its reclamation horizon: row
+	// versions still visible to a pinned snapshot are carried into the new
+	// main instead of dropped, so long-running readers straddling a merge
+	// swap keep a consistent view.
+	pins map[TID]int
 }
 
 // NewManager returns a transaction manager with no history.
 func NewManager() *Manager {
-	return &Manager{resolved: make(map[TID]bool)}
+	return &Manager{resolved: make(map[TID]bool), pins: make(map[TID]int)}
 }
 
 // Txn is an open transaction.
@@ -86,6 +94,47 @@ func (m *Manager) ReadSnapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Snapshot{High: m.watermark}
+}
+
+// PinRead returns a read snapshot at the current watermark and registers it
+// as active until the returned release function is called. While a snapshot
+// is pinned, delta merges will not reclaim row versions it can still see
+// (see OldestPinned), so a reader may keep using the snapshot across an
+// online merge swap. The release function is idempotent and safe to call
+// from any goroutine.
+func (m *Manager) PinRead() (Snapshot, func()) {
+	m.mu.Lock()
+	high := m.watermark
+	m.pins[high]++
+	m.mu.Unlock()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if m.pins[high]--; m.pins[high] <= 0 {
+				delete(m.pins, high)
+			}
+			m.mu.Unlock()
+		})
+	}
+	return Snapshot{High: high}, release
+}
+
+// OldestPinned returns the reclamation horizon: the lowest watermark any
+// pinned read snapshot was taken at, or the current watermark when nothing
+// is pinned. A row version invalidated by a transaction with ID greater
+// than the horizon may still be visible to an active reader and must
+// survive reorganizations (the TID-watermark handling of the online merge).
+func (m *Manager) OldestPinned() TID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest := m.watermark
+	for high := range m.pins {
+		if high < oldest {
+			oldest = high
+		}
+	}
+	return oldest
 }
 
 // Watermark returns the current commit watermark.
@@ -142,6 +191,20 @@ func (t *Txn) Abort() {
 	t.mgr.resolve(t.id)
 }
 
+// StoreTID atomically writes a TID slot. Invalidation timestamps are
+// written through this helper because the online delta merge reads the
+// MVCC arrays of the frozen stores without holding the database lock;
+// pairing atomic writes with the atomic reads in LoadTID/VisibilityInto
+// keeps those unsynchronized readers race-free.
+func StoreTID(p *TID, v TID) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), uint64(v))
+}
+
+// LoadTID atomically reads a TID slot; the counterpart of StoreTID.
+func LoadTID(p *TID) TID {
+	return TID(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
 // VisibilityVector renders the consistent view manager's bit vector for one
 // store: bit i is set iff row i is visible to the snapshot. This is the
 // structure the aggregate cache captures at entry-creation time and compares
@@ -157,6 +220,12 @@ func VisibilityVector(create, invalid []TID, snap Snapshot) *vec.BitSet {
 // written word-at-a-time — 64 rows accumulate into one register before a
 // single word store — so scan kernels can reuse a scratch bitset across
 // stores without reallocating.
+//
+// Invalidation timestamps are read atomically (LoadTID): during an online
+// merge the cache-maintenance fold scans main stores without the database
+// lock while concurrent writers invalidate rows through StoreTID. Atomic
+// loads compile to plain moves on mainstream architectures, so the
+// vectorized kernel keeps its throughput.
 func VisibilityInto(create, invalid []TID, snap Snapshot, bs *vec.BitSet) {
 	if len(create) != len(invalid) {
 		panic("txn: create/invalid length mismatch")
@@ -166,7 +235,7 @@ func VisibilityInto(create, invalid []TID, snap Snapshot, bs *vec.BitSet) {
 	var w uint64
 	wi := 0
 	for i := 0; i < n; i++ {
-		if snap.Sees(create[i], invalid[i]) {
+		if snap.Sees(create[i], LoadTID(&invalid[i])) {
 			w |= 1 << uint(i&63)
 		}
 		if i&63 == 63 {
