@@ -17,6 +17,10 @@
 //	\insert <n>          insert n business objects / orders into the deltas
 //	\merge               synchronized delta merge of the transactional tables
 //	\cache               show aggregate cache entries sorted by profit
+//	\advisor             replay the decision ledger through the shadow-cache
+//	                     simulator and print the what-if report (capacity and
+//	                     admission-threshold sweeps, eviction policies, tenant
+//	                     budget splits)
 //	\stats               dump the observability registry (counters, latencies)
 //	\traces              list flight-recorded query traces (newest first)
 //	\traces <id>         print one trace's span tree and critical path
@@ -35,9 +39,16 @@
 // retained traces, -slow marking traces at or above the threshold as slow so
 // they outlive the ring); -traces 0 disables recording.
 //
+// The shell also runs with the cache decision ledger on by default (-ledger
+// sets the ring size, 0 disables): every cache decision is recorded with its
+// profit components, feeding \advisor and /debug/advisor. -capacity and
+// -min-profit bound the cache so eviction and admission decisions actually
+// happen.
+//
 // With -debug <addr> the shell serves the observability debug endpoint:
-// /metrics (registry snapshot as JSON) and /debug/cache (entry metrics
-// sorted by profit).
+// /metrics (registry snapshot as JSON), /debug/cache (cache configuration,
+// eviction reasons, and entry metrics sorted by profit), and /debug/advisor
+// (the shadow-cache what-if report).
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"aggcache/internal/advisor"
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
@@ -72,6 +84,19 @@ type shell struct {
 	onlineMerge bool
 	// rec is the query flight recorder behind \traces; nil when disabled.
 	rec *obs.Recorder
+	// led is the cache decision ledger behind \advisor; nil when disabled.
+	led *obs.Ledger
+}
+
+// advisorReport replays the shell's ledger through the shadow-cache
+// simulator at the manager's live configuration.
+func (sh *shell) advisorReport() *advisor.Report {
+	dbg := sh.mgr.CacheDebug()
+	return advisor.Analyze(sh.led.Snapshot(), advisor.Options{
+		CapacityBytes: dbg.CapacityBytes,
+		MinProfit:     dbg.MinProfit,
+		Metrics:       sh.mgr.Metrics(),
+	})
 }
 
 func main() {
@@ -85,6 +110,9 @@ func main() {
 		traces    = flag.Int("traces", obs.DefaultTraceCapacity, "flight-recorder ring size (last n query traces retained for \\traces); 0 disables recording")
 		slow      = flag.Duration("slow", 100*time.Millisecond, "retain traces at or above this latency in the slow-query log even after the ring cycles; 0 disables the slow log")
 		online    = flag.Bool("online-merge", false, "run \\merge as a non-blocking online delta merge instead of the offline critical-section merge")
+		ledger    = flag.Int("ledger", obs.DefaultLedgerCapacity, "decision-ledger ring size (last n cache decisions retained for \\advisor and /debug/advisor); 0 disables the ledger")
+		capacity  = flag.Uint64("capacity", 0, "cache capacity in bytes (0 = unlimited); evictions feed the ledger and the advisor")
+		minProfit = flag.Float64("min-profit", 0, "cache admission threshold on entry profit (0 admits every self-maintainable query)")
 	)
 	flag.Parse()
 
@@ -109,7 +137,18 @@ func main() {
 		rec = obs.NewRecorder(obs.RecorderConfig{Capacity: *traces, SlowThreshold: *slow})
 	}
 
-	sh, err := load(*dataset, *workers, rec)
+	var led *obs.Ledger
+	if *ledger > 0 {
+		led = obs.NewLedger(*ledger)
+	}
+
+	sh, err := load(*dataset, core.Config{
+		Workers:       *workers,
+		Recorder:      rec,
+		Ledger:        led,
+		CapacityBytes: *capacity,
+		MinProfit:     *minProfit,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
@@ -120,14 +159,23 @@ func main() {
 		sampler := obs.NewSampler(sh.mgr.Metrics(), obs.SamplerConfig{Interval: *sample})
 		sampler.Start()
 		defer sampler.Stop()
+		var advisorSource func() (any, string)
+		if led != nil {
+			advisorSource = func() (any, string) {
+				rep := sh.advisorReport()
+				var sb strings.Builder
+				rep.Render(&sb)
+				return rep, sb.String()
+			}
+		}
 		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), func() any {
-			return sh.mgr.EntriesByProfit()
-		}, sampler, rec)
+			return sh.mgr.CacheDebug()
+		}, sampler, rec, advisorSource)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces\n", addr)
+		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces, /debug/advisor\n", addr)
 	}
 
 	if *stmt != "" {
@@ -171,7 +219,7 @@ func main() {
 	}
 }
 
-func load(dataset string, workers int, rec *obs.Recorder) (*shell, error) {
+func load(dataset string, mgrCfg core.Config) (*shell, error) {
 	switch dataset {
 	case "erp":
 		cfg := workload.DefaultERPConfig()
@@ -182,11 +230,12 @@ func load(dataset string, workers int, rec *obs.Recorder) (*shell, error) {
 		}
 		return &shell{
 			db:          erp.DB,
-			mgr:         core.NewManager(erp.DB, erp.Reg, core.Config{Workers: workers, Recorder: rec}),
+			mgr:         core.NewManager(erp.DB, erp.Reg, mgrCfg),
 			strategy:    core.CachedFullPruning,
 			insert:      erp.InsertBusinessObjects,
 			mergeTables: []string{workload.THeader, workload.TItem},
-			rec:         rec,
+			rec:         mgrCfg.Recorder,
+			led:         mgrCfg.Ledger,
 		}, nil
 	case "ch":
 		ch, err := workload.BuildCH(workload.DefaultCHConfig())
@@ -195,9 +244,10 @@ func load(dataset string, workers int, rec *obs.Recorder) (*shell, error) {
 		}
 		return &shell{
 			db:       ch.DB,
-			mgr:      core.NewManager(ch.DB, ch.Reg, core.Config{Workers: workers, Recorder: rec}),
+			mgr:      core.NewManager(ch.DB, ch.Reg, mgrCfg),
 			strategy: core.CachedFullPruning,
-			rec:      rec,
+			rec:      mgrCfg.Recorder,
+			led:      mgrCfg.Ledger,
 			insert: func(n int) error {
 				for i := 0; i < n; i++ {
 					if err := ch.InsertOrder(); err != nil {
@@ -260,6 +310,9 @@ func (sh *shell) runExplainAnalyze(stmt string) error {
 	}
 	sp.Render(os.Stdout)
 	obs.Analyze(sp).Render(os.Stdout)
+	if info.Regret > 0 {
+		fmt.Printf("-- regret: this miss was a ledger-predicted hit at capacity %.1fx\n", info.Regret)
+	}
 	fmt.Printf("-- %d group(s) in %s [%s: hit=%v subjoins %d/%d, md-pruned %d, scan-pruned %d, empty-pruned %d, pushdowns %d, rows scanned %d]\n",
 		res.Groups(), info.Total.Round(10*time.Microsecond), info.Strategy, info.CacheHit,
 		info.Stats.Executed, info.Stats.Subjoins, info.Stats.PrunedMD, info.Stats.PrunedScan,
@@ -305,7 +358,7 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \stats  \quit
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \advisor  \stats  \quit
 \traces                     list flight-recorded query traces (newest first)
 \traces <id>                print one trace's span tree and critical path
 \traces export <id> <file>  write the trace as Chrome trace-event JSON (ui.perfetto.dev)
@@ -365,8 +418,16 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 		}
 		fmt.Printf("%s %s in %s\n", kind, strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
 	case "\\cache":
-		fmt.Printf("entries=%d totalBytes=%d\n", sh.mgr.Len(), sh.mgr.SizeBytes())
-		for _, e := range sh.mgr.EntriesByProfit() {
+		dbg := sh.mgr.CacheDebug()
+		fmt.Printf("entries=%d totalBytes=%d capacity=%d minProfit=%g\n",
+			dbg.Entries, dbg.Bytes, dbg.CapacityBytes, dbg.MinProfit)
+		if dbg.Evictions > 0 {
+			fmt.Printf("evictions=%d (capacity=%d stale=%d min-profit=%d) regretGhosts=%d\n",
+				dbg.Evictions, dbg.EvictionsByReason[core.EvictCapacity],
+				dbg.EvictionsByReason[core.EvictStale], dbg.EvictionsByReason[core.EvictMinProfit],
+				dbg.RegretGhosts)
+		}
+		for _, e := range dbg.ByProfit {
 			staleMark := ""
 			if e.Stale {
 				staleMark = " STALE"
@@ -389,6 +450,12 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			fmt.Printf("  %-28s count=%d mean=%.0fus p50=%dus p99=%dus\n",
 				name, h.Count, h.MeanUS, h.P50US, h.P99US)
 		}
+	case "\\advisor":
+		if !sh.led.Enabled() {
+			fmt.Println("decision ledger disabled (run with -ledger <n>)")
+			break
+		}
+		sh.advisorReport().Render(os.Stdout)
 	case "\\traces":
 		sh.runTraces(fields[1:])
 	default:

@@ -10,6 +10,10 @@
 //	benchrunner -exp fig7            # one experiment, full scale
 //	benchrunner -exp all -quick      # every experiment, scaled down
 //	benchrunner -exp fig7 -json      # also write BENCH_fig7.json
+//	benchrunner -exp fig7 -json -advisor
+//	                                 # embed the shadow-cache what-if report
+//	                                 # (capacity sweep, eviction policies,
+//	                                 # tenant splits) into BENCH_fig7.json
 //	benchrunner -exp fig7 -trace-out traces/
 //	                                 # export per-point query traces as
 //	                                 # Chrome trace-event JSON (ui.perfetto.dev)
@@ -40,12 +44,14 @@ func main() {
 		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
 		online    = flag.Bool("online-merge", false, "run the experiments' delta merges as non-blocking online merges")
+		advise    = flag.Bool("advisor", false, "attach a cache decision ledger to the workload experiments and embed the shadow-cache what-if report (capacity/threshold sweeps, policies, tenant splits) into BENCH_<exp>.json")
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 	bench.Workers = *workers
 	bench.OnlineMerge = *online
+	bench.Advisor = *advise
 	if *traceOut != "" {
 		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)
@@ -81,7 +87,7 @@ func main() {
 		sampler := obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
 		sampler.Start()
 		defer sampler.Stop()
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler, nil)
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler, nil, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: debug endpoint: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,420 @@
+// Package advisor is the shadow-cache what-if simulator: it replays a cache
+// decision ledger (obs.Ledger) recorded by a live manager against
+// alternative cache configurations — capacity sweeps, admission-threshold
+// sweeps, alternative eviction policies, k-way tenant budget splits — and
+// reports what each configuration would have yielded in hit rate, bytes
+// held, and estimated latency saved. The ledger carries the profit
+// components snapshotted at decision time, so the simulator sees exactly
+// what the live policy saw, without re-executing a single query.
+package advisor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"aggcache/internal/obs"
+)
+
+// Policy selects the shadow cache's eviction policy.
+type Policy int
+
+const (
+	// PolicyProfit mirrors the engine: evict the lowest profit
+	// (benefit × (hits+1) / size), stale entries first — the paper's
+	// size-aware benefit metric.
+	PolicyProfit Policy = iota
+	// PolicyLRU evicts the least recently used entry, size- and
+	// cost-oblivious — the classic baseline.
+	PolicyLRU
+	// PolicyRawBenefit evicts the lowest raw benefit (compute × (hits+1))
+	// ignoring entry size — what a cost-aware but size-unaware cache does.
+	PolicyRawBenefit
+	numPolicies
+)
+
+var policyNames = [numPolicies]string{"profit", "lru", "raw-benefit"}
+
+// String names the policy.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return "policy(" + strconv.Itoa(int(p)) + ")"
+}
+
+// MarshalText encodes the policy as its name for JSON reports.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// CostModel selects how the simulator prices compute and serve costs.
+type CostModel int
+
+const (
+	// CostWallClock uses the ledger's observed nanosecond timings
+	// (ComputeNS, hit ServeNS) — highest fidelity, varies run to run. The
+	// default for advice.
+	CostWallClock CostModel = iota
+	// CostRows prices compute as the entry's aggregated main rows and hit
+	// serving as free — a deterministic proxy that makes reports
+	// byte-reproducible across runs and worker counts. The differential
+	// harness and golden tests use it.
+	CostRows
+)
+
+// String names the cost model.
+func (c CostModel) String() string {
+	if c == CostRows {
+		return "rows"
+	}
+	return "wall-clock"
+}
+
+// MarshalText encodes the cost model as its name for JSON reports.
+func (c CostModel) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// Config is one shadow-cache configuration to simulate.
+type Config struct {
+	// Label names the configuration in reports ("capacity 2x", "lru", ...).
+	Label string `json:"label"`
+	// CapacityBytes bounds the shadow cache; 0 means unlimited.
+	CapacityBytes uint64 `json:"capacity_bytes"`
+	// MinProfit is the admission threshold on the fresh entry's profit
+	// under the simulation's cost model.
+	MinProfit float64 `json:"min_profit,omitempty"`
+	// Policy is the eviction policy.
+	Policy Policy `json:"policy"`
+	// Shards splits the capacity into k independent budgets with keys
+	// hashed across them — the tenant budget partitioning of ROADMAP
+	// item 1; 0 or 1 simulates one unified cache.
+	Shards int `json:"shards,omitempty"`
+}
+
+// SimResult is what one configuration would have yielded over the ledger.
+type SimResult struct {
+	Config
+	// Accesses counts the replayed access decisions (hits + misses +
+	// rebuilds; bypasses are excluded — no configuration can serve them).
+	Accesses int64 `json:"accesses"`
+	// Hits, Misses, Rebuilds are the shadow cache's outcomes for those
+	// accesses.
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Rebuilds int64 `json:"rebuilds"`
+	// Bypasses counts snapshot bypasses observed (configuration-independent).
+	Bypasses int64 `json:"bypasses,omitempty"`
+	// Admitted, Rejected, Evictions count the shadow admission decisions.
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	Evictions int64 `json:"evictions"`
+	// HitRate is Hits / Accesses (0 when no accesses).
+	HitRate float64 `json:"hit_rate"`
+	// MaxBytes and EndBytes are the peak and final resident footprints.
+	MaxBytes uint64 `json:"max_bytes"`
+	EndBytes uint64 `json:"end_bytes"`
+	// EndEntries is the final resident entry count.
+	EndEntries int64 `json:"end_entries"`
+	// EstSaved is the estimated cost saved by shadow hits versus computing
+	// from scratch: Σ max(0, compute − hit-serve) in the cost model's unit
+	// (nanoseconds under CostWallClock, main rows under CostRows).
+	EstSaved int64 `json:"est_saved"`
+}
+
+// shadowEntry is one resident entry of the shadow cache.
+type shadowEntry struct {
+	key     string
+	size    uint64
+	compute int64 // cost-model units
+	hits    int64
+	lastSeq int64
+	stale   bool
+}
+
+// keyInfo is what the simulator has learned about a cache key from the
+// ledger so far: the profit components of its entry and whether the engine
+// deemed it inadmissible regardless of configuration.
+type keyInfo struct {
+	size         uint64
+	compute      int64
+	hitServe     int64 // EWMA of observed hit serve cost, cost-model units
+	hasHitServe  bool
+	inadmissible bool
+}
+
+// shard is one independent shadow cache (the whole cache when Shards <= 1).
+type shard struct {
+	entries  map[string]*shadowEntry
+	bytes    uint64
+	capacity uint64
+}
+
+// simulator replays a ledger under one configuration.
+type simulator struct {
+	cfg    Config
+	model  CostModel
+	know   map[string]*keyInfo
+	shards []*shard
+	res    SimResult
+}
+
+// Simulate replays a decision sequence (oldest first, as returned by
+// Ledger.Snapshot) against one shadow configuration and reports the outcome.
+// It is pure: same ledger + same config + same cost model ⇒ same result,
+// bit for bit, under CostRows.
+func Simulate(ds []obs.Decision, cfg Config, model CostModel) SimResult {
+	k := cfg.Shards
+	if k <= 1 {
+		k = 1
+	}
+	s := &simulator{
+		cfg:   cfg,
+		model: model,
+		know:  make(map[string]*keyInfo),
+		res:   SimResult{Config: cfg},
+	}
+	for i := 0; i < k; i++ {
+		cap := cfg.CapacityBytes
+		if cap > 0 {
+			cap = cap / uint64(k)
+			if cap == 0 {
+				cap = 1
+			}
+		}
+		s.shards = append(s.shards, &shard{entries: make(map[string]*shadowEntry), capacity: cap})
+	}
+	for i := range ds {
+		s.step(&ds[i])
+	}
+	for _, sh := range s.shards {
+		s.res.EndBytes += sh.bytes
+		s.res.EndEntries += int64(len(sh.entries))
+	}
+	if s.res.Accesses > 0 {
+		s.res.HitRate = float64(s.res.Hits) / float64(s.res.Accesses)
+	}
+	return s.res
+}
+
+// cost extracts the decision's compute cost under the simulation's model.
+func (s *simulator) cost(d *obs.Decision) int64 {
+	if s.model == CostRows {
+		return d.MainRows
+	}
+	return d.ComputeNS
+}
+
+// serveCost extracts a hit's serve cost under the model (free under
+// CostRows — serving from cache costs no main-store rows).
+func (s *simulator) serveCost(d *obs.Decision) int64 {
+	if s.model == CostRows {
+		return 0
+	}
+	return d.ServeNS
+}
+
+// learn folds a decision's entry snapshot into the key knowledge.
+func (s *simulator) learn(d *obs.Decision) *keyInfo {
+	ki := s.know[d.Key]
+	if ki == nil {
+		ki = &keyInfo{}
+		s.know[d.Key] = ki
+	}
+	if d.SizeBytes > 0 {
+		ki.size = d.SizeBytes
+	}
+	if c := s.cost(d); c > 0 {
+		ki.compute = c
+	}
+	return ki
+}
+
+// shardOf routes a key to its budget shard.
+func (s *simulator) shardOf(key string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// freshProfit scores a just-built entry for admission, mirroring
+// Metrics.Profit with Hits = 0.
+func freshProfit(compute int64, size uint64) float64 {
+	return float64(compute) / float64(size+1)
+}
+
+// profit scores a resident shadow entry for eviction.
+func profit(e *shadowEntry) float64 {
+	return float64(e.compute) * float64(e.hits+1) / float64(e.size+1)
+}
+
+// step replays one ledger decision.
+func (s *simulator) step(d *obs.Decision) {
+	switch d.Kind {
+	case obs.DecisionAdmit:
+		s.learn(d)
+	case obs.DecisionReject:
+		ki := s.learn(d)
+		// "not-self-maintainable" is a property of the query, denied under
+		// every configuration; threshold rejects are re-decided per config.
+		if d.Reason == "not-self-maintainable" {
+			ki.inadmissible = true
+		}
+	case obs.DecisionHit, obs.DecisionMiss, obs.DecisionRebuild:
+		ki := s.learn(d)
+		if d.Kind == obs.DecisionHit {
+			// Observed hit serving cost: what a shadow hit is assumed to
+			// cost. EWMA (α = 1/2) smooths delta-compensation variance.
+			if sc := s.serveCost(d); sc > 0 || s.model == CostRows {
+				if ki.hasHitServe {
+					ki.hitServe = (ki.hitServe + sc) / 2
+				} else {
+					ki.hitServe, ki.hasHitServe = sc, true
+				}
+			}
+		}
+		s.access(d, ki)
+	case obs.DecisionBypass:
+		s.learn(d)
+		s.res.Bypasses++
+	case obs.DecisionInvalidate:
+		// Invalidations are workload facts: whatever configuration held the
+		// entry, its main stores changed under it.
+		if e := s.shardOf(d.Key).entries[d.Key]; e != nil {
+			e.stale = true
+		}
+	case obs.DecisionCompensate, obs.DecisionFold:
+		// Maintenance reshapes the entry in place; track the new footprint
+		// and cost on the resident shadow entry.
+		ki := s.learn(d)
+		if sh := s.shardOf(d.Key); sh.entries[d.Key] != nil {
+			e := sh.entries[d.Key]
+			sh.bytes = sh.bytes - e.size + ki.size
+			e.size = ki.size
+			if ki.compute > 0 {
+				e.compute = ki.compute
+			}
+			s.evictOver(sh)
+			s.noteBytes()
+		}
+	case obs.DecisionEvict:
+		// The actual configuration's eviction choice — the shadow cache
+		// makes its own.
+	}
+}
+
+// access replays one query access against the shadow cache.
+func (s *simulator) access(d *obs.Decision, ki *keyInfo) {
+	s.res.Accesses++
+	sh := s.shardOf(d.Key)
+	e := sh.entries[d.Key]
+	switch {
+	case e != nil && !e.stale:
+		s.res.Hits++
+		e.hits++
+		e.lastSeq = d.Seq
+		saved := e.compute
+		if ki.hasHitServe {
+			saved -= ki.hitServe
+		}
+		if saved > 0 {
+			s.res.EstSaved += saved
+		}
+	case e != nil: // stale: rebuilt in place, like the engine
+		s.res.Rebuilds++
+		sh.bytes = sh.bytes - e.size + ki.size
+		e.stale = false
+		e.hits++
+		e.lastSeq = d.Seq
+		e.size = ki.size
+		e.compute = ki.compute
+		s.evictOver(sh)
+	default:
+		s.res.Misses++
+		s.admit(sh, d, ki)
+	}
+	s.noteBytes()
+}
+
+// noteBytes tracks the peak total resident footprint across shards.
+func (s *simulator) noteBytes() {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.bytes
+	}
+	if total > s.res.MaxBytes {
+		s.res.MaxBytes = total
+	}
+}
+
+// admit decides shadow admission for a missed key.
+func (s *simulator) admit(sh *shard, d *obs.Decision, ki *keyInfo) {
+	if ki.inadmissible || ki.size == 0 {
+		s.res.Rejected++
+		return
+	}
+	if freshProfit(ki.compute, ki.size) < s.cfg.MinProfit {
+		s.res.Rejected++
+		return
+	}
+	sh.entries[d.Key] = &shadowEntry{
+		key: d.Key, size: ki.size, compute: ki.compute, lastSeq: d.Seq,
+	}
+	sh.bytes += ki.size
+	s.res.Admitted++
+	s.evictOver(sh)
+}
+
+// evictOver enforces the shard's budget with the configured policy.
+func (s *simulator) evictOver(sh *shard) {
+	for sh.capacity > 0 && sh.bytes > sh.capacity && len(sh.entries) > 0 {
+		var victim *shadowEntry
+		for _, e := range sh.entries {
+			if victim == nil || s.victimLess(e, victim) {
+				victim = e
+			}
+		}
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.size
+		s.res.Evictions++
+	}
+}
+
+// victimLess orders eviction candidates under the configured policy, with
+// the key as the final deterministic tiebreak.
+func (s *simulator) victimLess(a, b *shadowEntry) bool {
+	if a.stale != b.stale {
+		return a.stale
+	}
+	switch s.cfg.Policy {
+	case PolicyLRU:
+		if a.lastSeq != b.lastSeq {
+			return a.lastSeq < b.lastSeq
+		}
+	case PolicyRawBenefit:
+		ba, bb := a.compute*(a.hits+1), b.compute*(b.hits+1)
+		if ba != bb {
+			return ba < bb
+		}
+	default:
+		pa, pb := profit(a), profit(b)
+		if pa != pb {
+			return pa < pb
+		}
+	}
+	return a.key < b.key
+}
+
+// canonResult renders the deterministic fields of one result for
+// cross-run comparison (CanonString); EstSaved is included only under
+// CostRows, where it is a pure function of the workload.
+func canonResult(r *SimResult, model CostModel) string {
+	s := fmt.Sprintf("label=%s cap=%d min_profit=%g policy=%s shards=%d accesses=%d hits=%d misses=%d rebuilds=%d bypasses=%d admitted=%d rejected=%d evictions=%d max_bytes=%d end_bytes=%d end_entries=%d",
+		r.Label, r.CapacityBytes, r.MinProfit, r.Policy, r.Shards,
+		r.Accesses, r.Hits, r.Misses, r.Rebuilds, r.Bypasses,
+		r.Admitted, r.Rejected, r.Evictions, r.MaxBytes, r.EndBytes, r.EndEntries)
+	if model == CostRows {
+		s += fmt.Sprintf(" est_saved_rows=%d", r.EstSaved)
+	}
+	return s
+}

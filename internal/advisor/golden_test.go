@@ -1,0 +1,49 @@
+package advisor
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggcache/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAdvisorReportGolden pins the full JSON report for a fixed synthetic
+// ledger under the deterministic rows cost model — the same artifact CI
+// uploads from /debug/advisor. Regenerate with:
+//
+//	go test ./internal/advisor -run Golden -update
+func TestAdvisorReportGolden(t *testing.T) {
+	rep := Analyze(syntheticLedger(), Options{
+		CapacityBytes: 900,
+		Cost:          CostRows,
+		Metrics:       obs.NewRegistry(),
+	})
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "advisor_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("advisor report drifted from golden (rerun with -update if intended):\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

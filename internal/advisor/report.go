@@ -1,0 +1,372 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aggcache/internal/obs"
+)
+
+// Options parameterizes one analysis run.
+type Options struct {
+	// CapacityBytes and MinProfit are the live manager's actual
+	// configuration — the fidelity anchor every sweep is compared against.
+	CapacityBytes uint64
+	MinProfit     float64
+	// Cost selects the pricing model; CostWallClock (the default) for
+	// advice, CostRows for byte-reproducible reports.
+	Cost CostModel
+	// Metrics receives advisor.sim_runs; nil uses the process-wide
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// Actual is the ground truth read straight off the ledger: what the live
+// configuration really did.
+type Actual struct {
+	Accesses   int64   `json:"accesses"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Rebuilds   int64   `json:"rebuilds"`
+	Bypasses   int64   `json:"bypasses,omitempty"`
+	Admitted   int64   `json:"admitted"`
+	Rejected   int64   `json:"rejected,omitempty"`
+	Evictions  int64   `json:"evictions"`
+	RegretHits int64   `json:"regret_hits,omitempty"`
+	HitRate    float64 `json:"hit_rate"`
+	MaxBytes   uint64  `json:"max_bytes"`
+}
+
+// Report is the advisor's output: the observed run, the baseline simulation
+// at the actual configuration (the fidelity check), and the what-if sweeps.
+type Report struct {
+	// Decisions is how many ledger decisions the analysis replayed.
+	Decisions int `json:"decisions"`
+	// Cost is the pricing model used.
+	Cost CostModel `json:"cost_model"`
+	// CapacityBytes and MinProfit echo the actual configuration.
+	CapacityBytes uint64  `json:"capacity_bytes"`
+	MinProfit     float64 `json:"min_profit,omitempty"`
+	// Actual is what the live run did.
+	Actual Actual `json:"actual"`
+	// Baseline simulates the actual configuration — its distance from
+	// Actual (FidelityPP, in hit-rate percentage points) bounds how far the
+	// sweeps can be trusted.
+	Baseline   SimResult `json:"baseline"`
+	FidelityPP float64   `json:"fidelity_pp"`
+	// CapacitySweep varies the byte budget, MinProfitSweep the admission
+	// threshold, Policies the eviction policy, TenantSplits the k-way
+	// budget partitioning.
+	CapacitySweep  []SimResult `json:"capacity_sweep"`
+	MinProfitSweep []SimResult `json:"min_profit_sweep,omitempty"`
+	Policies       []SimResult `json:"policies,omitempty"`
+	TenantSplits   []SimResult `json:"tenant_splits,omitempty"`
+	// Advice is the human-readable summary of what the sweeps suggest.
+	Advice []string `json:"advice,omitempty"`
+}
+
+// Analyze replays the ledger through the what-if sweeps and assembles the
+// report. ds is a Ledger.Snapshot (oldest first); a nil or empty ledger
+// yields an empty report rather than an error.
+func Analyze(ds []obs.Decision, opts Options) *Report {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	simRuns := reg.Counter("advisor.sim_runs")
+	sim := func(cfg Config) SimResult {
+		simRuns.Inc()
+		return Simulate(ds, cfg, opts.Cost)
+	}
+
+	rep := &Report{
+		Decisions:     len(ds),
+		Cost:          opts.Cost,
+		CapacityBytes: opts.CapacityBytes,
+		MinProfit:     opts.MinProfit,
+		Actual:        actualFromLedger(ds),
+	}
+	if len(ds) == 0 {
+		return rep
+	}
+
+	// Fidelity anchor: the shadow cache under the live configuration must
+	// reproduce the live hit rate (MinProfit is priced in the live cost
+	// model's unit, so the threshold transfers only under CostWallClock).
+	baseCfg := Config{Label: "actual", CapacityBytes: opts.CapacityBytes, Policy: PolicyProfit}
+	if opts.Cost == CostWallClock {
+		baseCfg.MinProfit = opts.MinProfit
+	}
+	rep.Baseline = sim(baseCfg)
+	rep.FidelityPP = 100 * abs(rep.Baseline.HitRate-rep.Actual.HitRate)
+
+	// Capacity sweep: fractions of the unlimited-run peak footprint, plus
+	// the actual budget point.
+	unlimited := sim(Config{Label: "unlimited", Policy: PolicyProfit})
+	peak := unlimited.MaxBytes
+	rep.CapacitySweep = append(rep.CapacitySweep, unlimited)
+	if peak > 0 {
+		for _, f := range []struct {
+			label string
+			num   uint64
+			den   uint64
+		}{
+			{"peak/8", 1, 8}, {"peak/4", 1, 4}, {"peak/2", 1, 2},
+			{"3*peak/4", 3, 4}, {"peak", 1, 1}, {"2*peak", 2, 1},
+		} {
+			cap := peak * f.num / f.den
+			if cap == 0 {
+				continue
+			}
+			rep.CapacitySweep = append(rep.CapacitySweep,
+				sim(Config{Label: f.label, CapacityBytes: cap, Policy: PolicyProfit}))
+		}
+	}
+	if opts.CapacityBytes > 0 {
+		rep.CapacitySweep = append(rep.CapacitySweep,
+			sim(Config{Label: "actual-capacity", CapacityBytes: opts.CapacityBytes, Policy: PolicyProfit}))
+	}
+
+	// Admission-threshold sweep over the observed fresh-profit quantiles.
+	if qs := freshProfitQuantiles(ds, opts.Cost); len(qs) > 0 {
+		rep.MinProfitSweep = append(rep.MinProfitSweep,
+			sim(Config{Label: "min-profit 0", CapacityBytes: opts.CapacityBytes, Policy: PolicyProfit}))
+		for _, q := range qs {
+			rep.MinProfitSweep = append(rep.MinProfitSweep, sim(Config{
+				Label:         fmt.Sprintf("min-profit p%d", q.pct),
+				CapacityBytes: opts.CapacityBytes,
+				MinProfit:     q.value,
+				Policy:        PolicyProfit,
+			}))
+		}
+	}
+
+	// Policy comparison and tenant splits run at a constrained budget —
+	// the actual one, or half the peak when the run was unlimited (an
+	// unconstrained cache never evicts, so every policy ties).
+	constrained := opts.CapacityBytes
+	if constrained == 0 {
+		constrained = peak / 2
+	}
+	if constrained > 0 {
+		for p := Policy(0); p < numPolicies; p++ {
+			rep.Policies = append(rep.Policies,
+				sim(Config{Label: p.String(), CapacityBytes: constrained, Policy: p}))
+		}
+		for _, k := range []int{2, 4} {
+			rep.TenantSplits = append(rep.TenantSplits, sim(Config{
+				Label:         fmt.Sprintf("%d-way split", k),
+				CapacityBytes: constrained,
+				Policy:        PolicyProfit,
+				Shards:        k,
+			}))
+		}
+	}
+
+	rep.Advice = advise(rep)
+	return rep
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// actualFromLedger tallies the live run's outcomes straight off the access
+// and lifecycle decisions.
+func actualFromLedger(ds []obs.Decision) Actual {
+	var a Actual
+	for i := range ds {
+		switch ds[i].Kind {
+		case obs.DecisionHit:
+			a.Hits++
+		case obs.DecisionMiss:
+			a.Misses++
+			if ds[i].RegretX > 0 {
+				a.RegretHits++
+			}
+		case obs.DecisionRebuild:
+			a.Rebuilds++
+		case obs.DecisionBypass:
+			a.Bypasses++
+		case obs.DecisionAdmit:
+			a.Admitted++
+		case obs.DecisionReject:
+			a.Rejected++
+		case obs.DecisionEvict:
+			a.Evictions++
+		}
+		if ds[i].CacheBytes > a.MaxBytes {
+			a.MaxBytes = ds[i].CacheBytes
+		}
+	}
+	a.Accesses = a.Hits + a.Misses + a.Rebuilds
+	if a.Accesses > 0 {
+		a.HitRate = float64(a.Hits) / float64(a.Accesses)
+	}
+	return a
+}
+
+type quantile struct {
+	pct   int
+	value float64
+}
+
+// freshProfitQuantiles extracts the p25/p50/p75 fresh-entry profits from the
+// admission decisions — the meaningful MinProfit sweep points.
+func freshProfitQuantiles(ds []obs.Decision, model CostModel) []quantile {
+	var profits []float64
+	for i := range ds {
+		d := &ds[i]
+		if d.Kind != obs.DecisionAdmit && d.Kind != obs.DecisionReject {
+			continue
+		}
+		c := d.ComputeNS
+		if model == CostRows {
+			c = d.MainRows
+		}
+		if p := freshProfit(c, d.SizeBytes); p > 0 {
+			profits = append(profits, p)
+		}
+	}
+	if len(profits) < 2 {
+		return nil
+	}
+	sort.Float64s(profits)
+	var out []quantile
+	for _, pct := range []int{25, 50, 75} {
+		v := profits[(len(profits)-1)*pct/100]
+		if len(out) == 0 || v != out[len(out)-1].value {
+			out = append(out, quantile{pct: pct, value: v})
+		}
+	}
+	return out
+}
+
+// advise turns the sweeps into short human-readable recommendations.
+func advise(rep *Report) []string {
+	var out []string
+	if rep.Actual.RegretHits > 0 {
+		out = append(out, fmt.Sprintf("%d misses were ledger-predicted hits on evicted keys — the capacity budget is costing hit rate", rep.Actual.RegretHits))
+	}
+	// The cheapest capacity reaching within half a point of the best rate.
+	var best *SimResult
+	for i := range rep.CapacitySweep {
+		r := &rep.CapacitySweep[i]
+		if best == nil || r.HitRate > best.HitRate {
+			best = r
+		}
+	}
+	if best != nil {
+		cheapest := best
+		for i := range rep.CapacitySweep {
+			r := &rep.CapacitySweep[i]
+			if r.CapacityBytes == 0 {
+				continue
+			}
+			if best.HitRate-r.HitRate <= 0.005 &&
+				(cheapest.CapacityBytes == 0 || r.CapacityBytes < cheapest.CapacityBytes) {
+				cheapest = r
+			}
+		}
+		if cheapest != best || cheapest.CapacityBytes > 0 {
+			out = append(out, fmt.Sprintf("capacity %s (%d bytes) reaches %.1f%% hit rate, within 0.5pp of the best sweep point",
+				cheapest.Label, cheapest.CapacityBytes, 100*cheapest.HitRate))
+		}
+	}
+	for i := range rep.Policies {
+		r := &rep.Policies[i]
+		if r.Policy == PolicyProfit {
+			for j := range rep.Policies {
+				o := &rep.Policies[j]
+				if o.Policy != PolicyProfit && o.HitRate > r.HitRate+0.005 {
+					out = append(out, fmt.Sprintf("policy %s would beat profit eviction at this budget (%.1f%% vs %.1f%% hit rate)",
+						o.Label, 100*o.HitRate, 100*r.HitRate))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Render writes the report as aligned human-readable text — the
+// /debug/advisor?format=text and aggsql \advisor output.
+func (rep *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== cache advisor (%d ledger decisions, %s cost model) ==\n", rep.Decisions, rep.Cost)
+	if rep.Decisions == 0 {
+		fmt.Fprintln(w, "   ledger empty — run queries with the decision ledger enabled")
+		return
+	}
+	fmt.Fprintf(w, "   actual: %.1f%% hit rate (%d hits / %d accesses), %d admitted, %d evicted, peak %d bytes\n",
+		100*rep.Actual.HitRate, rep.Actual.Hits, rep.Actual.Accesses,
+		rep.Actual.Admitted, rep.Actual.Evictions, rep.Actual.MaxBytes)
+	fmt.Fprintf(w, "   baseline simulation at actual config: %.1f%% hit rate (fidelity %.2fpp)\n",
+		100*rep.Baseline.HitRate, rep.FidelityPP)
+	section := func(title string, rs []SimResult) {
+		if len(rs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "   %s:\n", title)
+		width := 0
+		for i := range rs {
+			if len(rs[i].Label) > width {
+				width = len(rs[i].Label)
+			}
+		}
+		for i := range rs {
+			r := &rs[i]
+			fmt.Fprintf(w, "     %-*s  hit %6.1f%%  miss %5d  evict %5d  held %9d B  saved %s\n",
+				width, r.Label, 100*r.HitRate, r.Misses, r.Evictions, r.MaxBytes,
+				savedString(r.EstSaved, rep.Cost))
+		}
+	}
+	section("capacity sweep", rep.CapacitySweep)
+	section("admission threshold sweep", rep.MinProfitSweep)
+	section("eviction policies (constrained budget)", rep.Policies)
+	section("tenant budget splits (constrained budget)", rep.TenantSplits)
+	for _, a := range rep.Advice {
+		fmt.Fprintf(w, "   advice: %s\n", a)
+	}
+}
+
+// savedString renders an estimated saving in the cost model's unit.
+func savedString(v int64, model CostModel) string {
+	if model == CostRows {
+		return fmt.Sprintf("%d rows", v)
+	}
+	return fmt.Sprintf("%.2fms", float64(v)/1e6)
+}
+
+// CanonString renders the report's deterministic fields, one line per
+// simulated configuration. Under CostRows, two analyses of byte-identical
+// ledgers render byte-identically — the differential harness compares this.
+func (rep *Report) CanonString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decisions=%d accesses=%d hits=%d misses=%d rebuilds=%d bypasses=%d admitted=%d rejected=%d evictions=%d regrets=%d\n",
+		rep.Decisions, rep.Actual.Accesses, rep.Actual.Hits, rep.Actual.Misses,
+		rep.Actual.Rebuilds, rep.Actual.Bypasses, rep.Actual.Admitted,
+		rep.Actual.Rejected, rep.Actual.Evictions, rep.Actual.RegretHits)
+	if rep.Decisions == 0 {
+		return b.String()
+	}
+	sections := []struct {
+		name string
+		rs   []SimResult
+	}{
+		{"baseline", []SimResult{rep.Baseline}},
+		{"capacity", rep.CapacitySweep},
+		{"min-profit", rep.MinProfitSweep},
+		{"policy", rep.Policies},
+		{"tenants", rep.TenantSplits},
+	}
+	for _, sec := range sections {
+		for i := range sec.rs {
+			fmt.Fprintf(&b, "%s %s\n", sec.name, canonResult(&sec.rs[i], rep.Cost))
+		}
+	}
+	return b.String()
+}

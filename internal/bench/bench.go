@@ -16,6 +16,8 @@ import (
 	"strings"
 	"time"
 
+	"aggcache/internal/advisor"
+	"aggcache/internal/core"
 	"aggcache/internal/obs"
 	"aggcache/internal/table"
 )
@@ -31,6 +33,37 @@ var Workers int
 // cmd/benchrunner sets it from -online-merge. Results are identical either
 // way — merges are pure reorganizations; only interference changes.
 var OnlineMerge bool
+
+// Advisor attaches a cache decision ledger to the workload experiments'
+// managers and embeds the shadow-cache what-if report (capacity and
+// admission-threshold sweeps, eviction policies, tenant splits) into
+// BENCH_<exp>.json. cmd/benchrunner sets it from -advisor. Results are
+// identical either way — ledger capture is allocation-free on the query hot
+// path and the analysis runs after the timed sweep.
+var Advisor bool
+
+// advisorLedger returns the decision ledger experiments hand to their
+// manager: a fresh ring when -advisor is on, nil (disabled) otherwise.
+func advisorLedger() *obs.Ledger {
+	if Advisor {
+		return obs.NewLedger(0)
+	}
+	return nil
+}
+
+// advisorAnalyze replays the manager's ledger through the shadow-cache
+// simulator at the manager's live configuration; nil when no ledger was
+// attached.
+func advisorAnalyze(mgr *core.Manager) *advisor.Report {
+	if mgr.Ledger() == nil {
+		return nil
+	}
+	dbg := mgr.CacheDebug()
+	return advisor.Analyze(mgr.Ledger().Snapshot(), advisor.Options{
+		CapacityBytes: dbg.CapacityBytes,
+		MinProfit:     dbg.MinProfit,
+	})
+}
 
 // mergeTables runs the synchronized merge of the named tables' partition 0
 // under the configured merge mode.
@@ -73,6 +106,10 @@ type Result struct {
 	// Traces holds the per-point query traces the experiment captured; they
 	// are surfaced through Report.Traces rather than the result section.
 	Traces []TraceStat `json:"-"`
+	// Advisor holds the shadow-cache what-if report when the experiment ran
+	// with the decision ledger attached (bench.Advisor); surfaced through
+	// Report.Advisor.
+	Advisor *advisor.Report `json:"-"`
 }
 
 // Report is the machine-readable bench output: the experiment's series
@@ -94,6 +131,9 @@ type Report struct {
 	// with its critical-path analysis (and exported trace-event file when
 	// benchrunner ran with -trace-out).
 	Traces []TraceStat `json:"traces,omitempty"`
+	// Advisor is the shadow-cache what-if report of the run's decision
+	// ledger (benchrunner -advisor).
+	Advisor *advisor.Report `json:"advisor,omitempty"`
 }
 
 // RunMeta identifies one bench run: the code version, when and where it
@@ -131,7 +171,7 @@ func CollectMeta() RunMeta {
 
 // Report pairs the result with a metrics snapshot and stamps run metadata.
 func (r *Result) Report(quick bool, snap obs.Snapshot) *Report {
-	return &Report{Result: r, Quick: quick, Meta: CollectMeta(), Metrics: snap, Traces: r.Traces}
+	return &Report{Result: r, Quick: quick, Meta: CollectMeta(), Metrics: snap, Traces: r.Traces, Advisor: r.Advisor}
 }
 
 // LoadReport reads a BENCH_<exp>.json file.

@@ -33,7 +33,8 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 	m := h.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, e := range m.entries {
+	for _, key := range m.sortedEntryKeys() {
+		e := m.entries[key]
 		if e.Stale || !queryReferences(e.Query, tbl.Name()) {
 			continue
 		}
@@ -76,6 +77,7 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 				slog.String("key", e.Key), slog.String("table", tbl.Name()),
 				slog.Int64("delta_tuples", st.TuplesJoined))
 		}
+		m.ledFold(e, st.TuplesJoined, "offline")
 	}
 	m.syncGauges()
 }
@@ -111,7 +113,8 @@ func (h *mergeHook) FoldOnline(db *table.DB, tbl *table.Table, part int, snap tx
 	}
 	var jobs []foldJob
 	m.mu.Lock()
-	for key, e := range m.entries {
+	for _, key := range m.sortedEntryKeys() {
+		e := m.entries[key]
 		if e.Stale || e.mergedDirty || !queryReferences(e.Query, name) {
 			continue
 		}
@@ -174,7 +177,8 @@ func (h *mergeHook) SwapOnline(db *table.DB, tbl *table.Table, part int, snap tx
 	delete(m.foldedActive, name)
 	ref := query.StoreRef{Table: name, Part: part, Main: true}
 	base := ref.Resolve(db).MergeBaseVisibility()
-	for key, e := range m.entries {
+	for _, key := range m.sortedEntryKeys() {
+		e := m.entries[key]
 		if !queryReferences(e.Query, name) {
 			continue
 		}
@@ -212,6 +216,7 @@ func (h *mergeHook) SwapOnline(db *table.DB, tbl *table.Table, part int, snap tx
 				slog.String("key", e.Key), slog.String("table", name),
 				slog.Int64("delta_tuples", pf.tuples[key]))
 		}
+		m.ledFold(e, pf.tuples[key], "online")
 	}
 	m.syncGauges()
 }
@@ -230,17 +235,23 @@ func (h *mergeHook) AbortOnline(db *table.DB, tbl *table.Table, part int) {
 	// Folds staged for other, still-running merges may have counted this
 	// table's frozen delta as about-to-merge (the cross-term telescoping in
 	// mergeFoldCombos); applying them now would double-count those rows.
-	for _, pf := range m.pendingFolds {
-		for key := range pf.folds {
-			e := m.entries[key]
-			if e == nil || !queryReferences(e.Query, name) {
-				continue
+	// Walk entries in key order so the resulting invalidation decisions land
+	// in the ledger deterministically.
+	for _, key := range m.sortedEntryKeys() {
+		e := m.entries[key]
+		if !queryReferences(e.Query, name) {
+			continue
+		}
+		dropped := false
+		for _, pf := range m.pendingFolds {
+			if _, ok := pf.folds[key]; ok {
+				delete(pf.folds, key)
+				delete(pf.tuples, key)
+				dropped = true
 			}
-			delete(pf.folds, key)
-			delete(pf.tuples, key)
-			if !e.Stale {
-				m.markStale(e, "concurrent online merge aborted")
-			}
+		}
+		if dropped && !e.Stale {
+			m.markStale(e, "concurrent online merge aborted")
 		}
 	}
 	// Entries built during the aborted merge still describe the live store

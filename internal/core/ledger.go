@@ -1,0 +1,302 @@
+package core
+
+import (
+	"log/slog"
+	"sort"
+	"time"
+
+	"aggcache/internal/obs"
+	"aggcache/internal/query"
+)
+
+// This file wires the cache decision ledger (obs.Ledger) into the manager:
+// every admission, rejection, hit, miss, rebuild, bypass, compensation,
+// fold, invalidation, and eviction is recorded with the profit components
+// snapshotted at decision time, making the profit policy replayable by the
+// shadow-cache advisor (internal/advisor). All emission helpers are gated on
+// m.led.Enabled(), cost one nil check when the ledger is off (the default),
+// and are allocation-free when it is on — TestLedgerHitPathAllocs asserts
+// the hot path, and a Decision is a flat value copied into the ledger's
+// preallocated ring.
+
+// Eviction reasons, carried by the cache.evictions event, the /debug/cache
+// payload, and evict-kind ledger decisions.
+const (
+	// EvictCapacity: the entry was the lowest-profit resident when the cache
+	// exceeded CapacityBytes.
+	EvictCapacity = "capacity"
+	// EvictStale: the victim was already invalidated (stale entries are
+	// worthless residents — they evict before any live entry).
+	EvictStale = "stale"
+	// EvictMinProfit: the victim's profit had decayed below the admission
+	// threshold, so capacity pressure removed an entry that would no longer
+	// be admitted today.
+	EvictMinProfit = "min-profit"
+)
+
+// victimLess orders eviction candidates: stale entries go first (their value
+// cannot serve another query without a rebuild), then ascending profit, with
+// the cache key as a deterministic tiebreak so equal-profit victims are
+// chosen identically on every run.
+func victimLess(a, b *Entry) bool {
+	if a.Stale != b.Stale {
+		return a.Stale
+	}
+	pa, pb := a.Metrics.Profit(), b.Metrics.Profit()
+	if pa != pb {
+		return pa < pb
+	}
+	return a.Key < b.Key
+}
+
+// evictReason classifies why this victim was chosen.
+func evictReason(victim *Entry, minProfit float64) string {
+	switch {
+	case victim.Stale:
+		return EvictStale
+	case minProfit > 0 && victim.Metrics.Profit() < minProfit:
+		return EvictMinProfit
+	default:
+		return EvictCapacity
+	}
+}
+
+// evict removes one entry under capacity pressure, accounting the reason and
+// remembering the key in the ghost list for regret detection. Callers hold
+// m.mu; gauges are synced by the caller's eviction loop.
+func (m *Manager) evict(victim *Entry, reason string) {
+	multiple := 1.0
+	if m.cfg.CapacityBytes > 0 {
+		multiple = float64(m.bytes) / float64(m.cfg.CapacityBytes)
+	}
+	m.addGhost(victim.Key, ghostInfo{
+		size: victim.Metrics.SizeBytes, profit: victim.Metrics.Profit(), multiple: multiple,
+	})
+	delete(m.entries, victim.Key)
+	m.bytes -= victim.Metrics.SizeBytes
+	m.Evictions++
+	m.evictionsByReason[reason]++
+	m.obs.evictions.Inc()
+	switch reason {
+	case EvictStale:
+		m.obs.evictStale.Inc()
+	case EvictMinProfit:
+		m.obs.evictMinProfit.Inc()
+	default:
+		m.obs.evictCapacity.Inc()
+	}
+	if m.ev.Enabled() {
+		m.ev.Emit("cache.evictions",
+			slog.String("key", victim.Key), slog.String("reason", reason),
+			slog.Float64("profit", victim.Metrics.Profit()),
+			slog.Uint64("size_bytes", victim.Metrics.SizeBytes))
+	}
+	if m.led.Enabled() {
+		d := m.entryDecision(obs.DecisionEvict, victim)
+		d.Reason = reason
+		m.ledRecord(d)
+	}
+}
+
+// ghostCapacity bounds the ghost list of recently evicted keys.
+const ghostCapacity = 1024
+
+// ghostInfo remembers what the cache knew about an evicted entry: enough to
+// recognize a miss on the key as a capacity regret.
+type ghostInfo struct {
+	size   uint64
+	profit float64
+	// multiple is cache-bytes / CapacityBytes at eviction time — the
+	// capacity factor at which the entry would have stayed resident.
+	multiple float64
+}
+
+// addGhost remembers an evicted key in the bounded ghost list (an ARC-style
+// shadow of departed entries). Callers hold m.mu.
+func (m *Manager) addGhost(key string, g ghostInfo) {
+	if m.ghostFIFO == nil {
+		m.ghostFIFO = make([]string, ghostCapacity)
+	}
+	if _, dup := m.ghost[key]; !dup {
+		if old := m.ghostFIFO[m.ghostNext]; old != "" {
+			delete(m.ghost, old)
+		}
+		m.ghostFIFO[m.ghostNext] = key
+		m.ghostNext = (m.ghostNext + 1) % ghostCapacity
+	}
+	m.ghost[key] = g
+}
+
+// entryDecision seeds a Decision of the given kind with the entry's profit
+// components and the cache state as they stand. Callers hold m.mu.
+func (m *Manager) entryDecision(kind obs.DecisionKind, e *Entry) obs.Decision {
+	var age int64
+	if !e.Metrics.LastAccess.IsZero() {
+		age = int64(time.Since(e.Metrics.LastAccess))
+	}
+	return obs.Decision{
+		Kind:         kind,
+		Key:          e.Key,
+		Hits:         e.Metrics.Hits,
+		SizeBytes:    e.Metrics.SizeBytes,
+		ComputeNS:    int64(e.Metrics.MainExecTime),
+		AgeNS:        age,
+		Profit:       e.Metrics.Profit(),
+		MainRows:     e.Metrics.MainRows,
+		DeltaRows:    e.Metrics.DeltaRows,
+		CacheBytes:   m.bytes,
+		CacheEntries: int64(len(m.entries)),
+	}
+}
+
+// ledRecord appends one decision and counts it. Callers have checked
+// m.led.Enabled().
+func (m *Manager) ledRecord(d obs.Decision) {
+	m.obs.decisions.Inc()
+	m.led.Record(d)
+}
+
+// recordAccess appends the access decision of one cached-strategy execution
+// — hit, miss, rebuild, or bypass — after the execution accounted its use,
+// so the snapshot reflects what the next decision will see. Uncached
+// executions make no cache decision and are not recorded.
+func (m *Manager) recordAccess(q *query.Query, info *ExecInfo) {
+	if !m.led.Enabled() || info.Strategy == Uncached {
+		return
+	}
+	var kind obs.DecisionKind
+	switch {
+	case info.CacheHit:
+		kind = obs.DecisionHit
+	case info.Bypassed:
+		kind = obs.DecisionBypass
+	case info.Rebuilt:
+		kind = obs.DecisionRebuild
+	default:
+		kind = obs.DecisionMiss
+	}
+	key := q.Fingerprint()
+	m.mu.Lock()
+	var d obs.Decision
+	if e := m.entries[key]; e != nil {
+		d = m.entryDecision(kind, e)
+	} else {
+		// Rejected miss (or an entry already evicted again): no resident
+		// entry to snapshot; the reject decision carried the components.
+		d = obs.Decision{
+			Kind: kind, Key: key,
+			CacheBytes: m.bytes, CacheEntries: int64(len(m.entries)),
+		}
+	}
+	m.mu.Unlock()
+	d.Strategy = info.Strategy.String()
+	d.ServeNS = int64(info.Total)
+	d.RegretX = info.Regret
+	m.ledRecord(d)
+}
+
+// rejectEntry accounts an admission denial. Callers hold m.mu.
+func (m *Manager) rejectEntry(e *Entry, reason string) {
+	m.obs.rejections.Inc()
+	if m.ev.Enabled() {
+		m.ev.Emit("cache.rejections",
+			slog.String("key", e.Key), slog.String("reason", reason),
+			slog.Float64("profit", e.Metrics.Profit()))
+	}
+	if m.led.Enabled() {
+		d := m.entryDecision(obs.DecisionReject, e)
+		d.Reason = reason
+		m.ledRecord(d)
+	}
+}
+
+// ledCompensate records an in-place main compensation (rows removed from the
+// cached value). Callers hold m.mu.
+func (m *Manager) ledCompensate(e *Entry, rows int, mode string) {
+	if !m.led.Enabled() {
+		return
+	}
+	d := m.entryDecision(obs.DecisionCompensate, e)
+	d.Reason = mode
+	d.Rows = int64(rows)
+	m.ledRecord(d)
+}
+
+// ledFold records a merge-time maintenance fold. Callers hold m.mu.
+func (m *Manager) ledFold(e *Entry, tuples int64, mode string) {
+	if !m.led.Enabled() {
+		return
+	}
+	d := m.entryDecision(obs.DecisionFold, e)
+	d.Reason = mode
+	d.Rows = tuples
+	m.ledRecord(d)
+}
+
+// sortedEntryKeys lists the cache keys in lexical order. The merge hooks
+// iterate it instead of the entries map so their per-entry maintenance
+// decisions land in the ledger in a deterministic order — part of the
+// byte-identical-ledger guarantee the differential harness checks. Callers
+// hold m.mu.
+func (m *Manager) sortedEntryKeys() []string {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ledger returns the decision ledger this manager records into; nil when
+// disabled.
+func (m *Manager) Ledger() *obs.Ledger { return m.led }
+
+// CacheDebug is the /debug/cache and \cache introspection payload: cache
+// configuration and footprint, eviction accounting by reason, ledger
+// position, and every entry's metrics in eviction order.
+type CacheDebug struct {
+	CapacityBytes     uint64           `json:"capacity_bytes"`
+	MinProfit         float64          `json:"min_profit"`
+	Bytes             uint64           `json:"bytes"`
+	Entries           int              `json:"entries"`
+	Evictions         int64            `json:"evictions"`
+	EvictionsByReason map[string]int64 `json:"evictions_by_reason"`
+	RegretGhosts      int              `json:"regret_ghosts"`
+	LedgerSeq         int64            `json:"ledger_seq"`
+	LedgerLen         int              `json:"ledger_len"`
+	ByProfit          []EntrySnapshot  `json:"by_profit"`
+}
+
+// CacheDebug snapshots the cache state for introspection endpoints.
+func (m *Manager) CacheDebug() CacheDebug {
+	by := m.EntriesByProfit()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reasons := make(map[string]int64, len(m.evictionsByReason))
+	for r, n := range m.evictionsByReason {
+		reasons[r] = n
+	}
+	return CacheDebug{
+		CapacityBytes:     m.cfg.CapacityBytes,
+		MinProfit:         m.cfg.MinProfit,
+		Bytes:             m.bytes,
+		Entries:           len(m.entries),
+		Evictions:         m.Evictions,
+		EvictionsByReason: reasons,
+		RegretGhosts:      len(m.ghost),
+		LedgerSeq:         m.led.Seq(),
+		LedgerLen:         m.led.Len(),
+		ByProfit:          by,
+	}
+}
+
+// EvictionsByReason copies the per-reason eviction counts.
+func (m *Manager) EvictionsByReason() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.evictionsByReason))
+	for r, n := range m.evictionsByReason {
+		out[r] = n
+	}
+	return out
+}

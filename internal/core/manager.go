@@ -3,6 +3,7 @@ package core
 import (
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -49,6 +50,14 @@ type Config struct {
 	// /debug/traces and \traces. Nil (the default) disables flight recording;
 	// the per-query hook then costs one nil check and no allocations.
 	Recorder *obs.Recorder
+	// Ledger is the cache decision ledger: when non-nil, every cache
+	// decision — admission, rejection, hit, miss, rebuild, bypass,
+	// compensation, fold, invalidation, eviction — is recorded with its
+	// profit components snapshotted at decision time, for /debug/advisor,
+	// \advisor, and the shadow-cache simulator (internal/advisor). Nil (the
+	// default) disables the ledger; the per-decision hook then costs one nil
+	// check and no allocations.
+	Ledger *obs.Ledger
 }
 
 // ExecInfo reports how one query execution was served.
@@ -71,6 +80,11 @@ type ExecInfo struct {
 	Stats query.Stats
 	// Total is the wall-clock execution time.
 	Total time.Duration
+	// Regret is the ghost-list verdict for a miss: when nonzero, the missed
+	// key was evicted earlier and this is the cache-bytes / CapacityBytes
+	// multiple at eviction time — the capacity factor at which the ledger
+	// predicts this miss would have been a hit.
+	Regret float64
 }
 
 // Manager is the aggregate cache manager (paper Fig. 1): it owns the cache
@@ -88,6 +102,15 @@ type Manager struct {
 	obs     *managerObs
 	ev      *obs.EventLog
 	rec     *obs.Recorder
+	led     *obs.Ledger
+	// ghost is the bounded shadow of recently evicted keys (ghostFIFO holds
+	// insertion order); a miss that finds its key here is a capacity regret.
+	ghost     map[string]ghostInfo
+	ghostFIFO []string
+	ghostNext int
+	// evictionsByReason counts evictions per reason string (capacity,
+	// stale, min-profit) for /debug/cache.
+	evictionsByReason map[string]int64
 	// pendingFolds stages per-entry maintenance folds computed by
 	// FoldOnline during an online merge's build phase, keyed by the merging
 	// (table, partition); SwapOnline applies them inside the swap critical
@@ -130,16 +153,19 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		ev = obs.Events()
 	}
 	m := &Manager{
-		db:           db,
-		mds:          mds,
-		exec:         &query.Executor{DB: db, Events: ev, Workers: cfg.Workers},
-		cfg:          cfg,
-		entries:      make(map[string]*Entry),
-		obs:          newManagerObs(cfg.Metrics),
-		ev:           ev,
-		rec:          cfg.Recorder,
-		pendingFolds: make(map[foldKey]*pendingFold),
-		foldedActive: make(map[string]bool),
+		db:                db,
+		mds:               mds,
+		exec:              &query.Executor{DB: db, Events: ev, Workers: cfg.Workers},
+		cfg:               cfg,
+		entries:           make(map[string]*Entry),
+		obs:               newManagerObs(cfg.Metrics),
+		ev:                ev,
+		rec:               cfg.Recorder,
+		led:               cfg.Ledger,
+		ghost:             make(map[string]ghostInfo),
+		evictionsByReason: make(map[string]int64),
+		pendingFolds:      make(map[foldKey]*pendingFold),
+		foldedActive:      make(map[string]bool),
 	}
 	m.exec.ParallelSubjoins = m.obs.parallelSubjoins
 	w := cfg.Workers
@@ -247,6 +273,7 @@ func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp 
 		info.Total = time.Since(start)
 		if err == nil {
 			m.obs.recordExec(&info)
+			m.recordAccess(q, &info)
 		}
 		return uncachedRes, info, err
 	}
@@ -257,6 +284,7 @@ func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp 
 	}
 	info.Total = time.Since(start)
 	m.obs.recordExec(&info)
+	m.recordAccess(q, &info)
 	return work, info, nil
 }
 
@@ -278,6 +306,7 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 	if uncachedRes != nil {
 		info.Total = time.Since(start)
 		m.obs.recordExec(&info)
+		m.recordAccess(q, &info)
 		return uncachedRes.Rows(), info, nil
 	}
 	comp := query.NewAggTable(q.Aggs)
@@ -287,6 +316,7 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 	rows := work.MergedRows(comp)
 	info.Total = time.Since(start)
 	m.obs.recordExec(&info)
+	m.recordAccess(q, &info)
 	return rows, info, nil
 }
 
@@ -335,6 +365,18 @@ func (m *Manager) prepare(q *query.Query, snap txn.Snapshot, strat Strategy, inf
 	switch {
 	case !hit:
 		lookup.Attr("verdict", "miss")
+		// Ghost check: a miss on a recently evicted key is a regret — the
+		// ledger predicts it would have been a hit at the capacity multiple
+		// recorded at eviction time. One regret per eviction.
+		if g, ok := m.ghost[key]; ok {
+			delete(m.ghost, key)
+			info.Regret = g.multiple
+			m.obs.regretHits.Inc()
+			if lookup != nil {
+				lookup.Attr("regret", "ledger-predicted hit at capacity "+
+					strconv.FormatFloat(g.multiple, 'f', 1, 64)+"x")
+			}
+		}
 		lookup.End()
 		// Validation happens once per query definition: a cache hit means
 		// an identical, already-validated definition (the fingerprint
@@ -613,13 +655,18 @@ func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *
 // capacity is enforced by evicting the lowest-profit entries.
 func (m *Manager) admit(e *Entry) bool {
 	if !e.Query.SelfMaintainable() {
+		m.rejectEntry(e, "not-self-maintainable")
 		return false
 	}
 	if e.Metrics.Profit() < m.cfg.MinProfit {
+		m.rejectEntry(e, "min-profit")
 		return false
 	}
 	m.entries[e.Key] = e
 	m.bytes += e.Metrics.SizeBytes
+	if m.led.Enabled() {
+		m.ledRecord(m.entryDecision(obs.DecisionAdmit, e))
+	}
 	m.evictOverCapacity()
 	m.syncGauges()
 	_, still := m.entries[e.Key]
@@ -635,19 +682,11 @@ func (m *Manager) evictOverCapacity() {
 	for m.cfg.CapacityBytes > 0 && m.bytes > m.cfg.CapacityBytes && len(m.entries) > 0 {
 		var victim *Entry
 		for _, e := range m.entries {
-			if victim == nil || e.Metrics.Profit() < victim.Metrics.Profit() {
+			if victim == nil || victimLess(e, victim) {
 				victim = e
 			}
 		}
-		delete(m.entries, victim.Key)
-		m.bytes -= victim.Metrics.SizeBytes
-		m.Evictions++
-		m.obs.evictions.Inc()
-		if m.ev.Enabled() {
-			m.ev.Emit("cache.evictions",
-				slog.String("key", victim.Key), slog.Float64("profit", victim.Metrics.Profit()),
-				slog.Uint64("size_bytes", victim.Metrics.SizeBytes))
-		}
+		m.evict(victim, evictReason(victim, m.cfg.MinProfit))
 	}
 	m.syncGauges()
 }
@@ -661,6 +700,11 @@ func (m *Manager) markStale(e *Entry, cause string) {
 	if m.ev.Enabled() {
 		m.ev.Emit("cache.invalidations",
 			slog.String("key", e.Key), slog.String("cause", cause))
+	}
+	if m.led.Enabled() {
+		d := m.entryDecision(obs.DecisionInvalidate, e)
+		d.Reason = cause
+		m.ledRecord(d)
 	}
 }
 
@@ -693,6 +737,17 @@ const (
 	// compensation to the caller's target table (the served clone) instead.
 	compTransient
 )
+
+// String names the mode for ledger compensate decisions.
+func (c compMode) String() string {
+	switch c {
+	case compSettle:
+		return "settle"
+	case compTransient:
+		return "transient"
+	}
+	return "persist"
+}
 
 // mainCompensate applies the bit-vector-comparison main compensation of
 // paper Sec. 2.2: rows of the tracked main stores that were visible at
@@ -755,6 +810,7 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 		}
 	}
 	if mode == compTransient {
+		m.ledCompensate(e, total, mode.String())
 		return total, nil
 	}
 	e.Metrics.DirtyCounter += int64(total)
@@ -767,6 +823,7 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 		e.Metrics.SizeBytes = e.Value.MemBytes()
 	}
 	e.SnapHigh = snap.High
+	m.ledCompensate(e, total, mode.String())
 	_ = strat
 	return total, nil
 }

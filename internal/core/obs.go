@@ -49,6 +49,14 @@ type managerObs struct {
 	// could not be compensated incrementally.
 	invalidations *obs.Counter // cache.invalidations
 
+	// Decision ledger and regret accounting.
+	decisions      *obs.Counter // cache.decisions — ledger decisions recorded
+	rejections     *obs.Counter // cache.rejections — admissions denied
+	regretHits     *obs.Counter // cache.regret_hits — misses on recently evicted keys
+	evictCapacity  *obs.Counter // cache.evictions_capacity — evictions of live, admissible entries
+	evictStale     *obs.Counter // cache.evictions_stale — evictions of invalidated entries
+	evictMinProfit *obs.Counter // cache.evictions_min_profit — evictions below the admission threshold
+
 	// Latency distributions.
 	queryLat     *obs.Histogram // latency.query — full Execute wall clock
 	deltaCompLat *obs.Histogram // latency.delta_comp — delta compensation only
@@ -84,6 +92,12 @@ func newManagerObs(reg *obs.Registry) *managerObs {
 		scanScalarRows:   reg.Counter("exec.scan_scalar_rows"),
 		maintenances:     reg.Counter("cache.maintenances"),
 		invalidations:    reg.Counter("cache.invalidations"),
+		decisions:        reg.Counter("cache.decisions"),
+		rejections:       reg.Counter("cache.rejections"),
+		regretHits:       reg.Counter("cache.regret_hits"),
+		evictCapacity:    reg.Counter("cache.evictions_capacity"),
+		evictStale:       reg.Counter("cache.evictions_stale"),
+		evictMinProfit:   reg.Counter("cache.evictions_min_profit"),
 		queryLat:         reg.Histogram("latency.query"),
 		deltaCompLat:     reg.Histogram("latency.delta_comp"),
 	}

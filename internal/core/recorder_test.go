@@ -90,7 +90,7 @@ func TestDebugMuxUnderConcurrentQueryLoad(t *testing.T) {
 
 	sampler := obs.NewSampler(reg, obs.SamplerConfig{Interval: time.Hour, Capacity: 8})
 	sampler.SampleOnce()
-	srv := httptest.NewServer(obs.DebugMux(reg, func() any { return e.mgr.EntriesByProfit() }, sampler, rec))
+	srv := httptest.NewServer(obs.DebugMux(reg, func() any { return e.mgr.EntriesByProfit() }, sampler, rec, nil))
 	defer srv.Close()
 
 	const iterations = 30

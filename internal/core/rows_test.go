@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"testing"
+	"time"
 
 	"aggcache/internal/query"
 )
@@ -156,8 +157,16 @@ func TestEvictionPrefersLowProfit(t *testing.T) {
 	if big == nil || small == nil {
 		t.Fatal("entries missing")
 	}
+	// Pin the wall-clock profit input to a workload-derived value (one
+	// millisecond per aggregated main row) so the profit ordering is a pure
+	// function of the workload: the big entry's 50 reuses then tower over
+	// the one-shot entry at any machine speed.
+	e.mgr.mu.Lock()
+	big.Metrics.MainExecTime = time.Duration(big.Metrics.MainRows+1) * time.Millisecond
+	small.Metrics.MainExecTime = time.Duration(small.Metrics.MainRows+1) * time.Millisecond
+	e.mgr.mu.Unlock()
 	if big.Metrics.Profit() <= small.Metrics.Profit() {
-		t.Skipf("profit ordering inverted at this scale (%.3g vs %.3g)",
+		t.Fatalf("profit ordering inverted (%.3g vs %.3g)",
 			big.Metrics.Profit(), small.Metrics.Profit())
 	}
 	// Shrink capacity to hold only the bigger-profit entry.

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"aggcache/internal/advisor"
 	"aggcache/internal/column"
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
@@ -160,10 +161,11 @@ type stagedKey struct {
 // Runner executes an operation sequence against one ERP database observed
 // by two cache managers (one single-worker, one four-worker).
 type Runner struct {
-	erp    *workload.ERP
-	m1, m4 *core.Manager
-	objs   []object
-	staged map[stagedKey]*table.OnlineMerge
+	erp        *workload.ERP
+	m1, m4     *core.Manager
+	led1, led4 *obs.Ledger
+	objs       []object
+	staged     map[stagedKey]*table.OnlineMerge
 	// Outputs collects the rendered result of every query check, in
 	// order — the unit of cross-run comparison.
 	Outputs []string
@@ -178,17 +180,24 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	// Unlimited capacity and zero admission threshold keep the entry
-	// population a pure function of the op sequence.
-	mk := func(workers int) *core.Manager {
+	// population a pure function of the op sequence. Each manager records
+	// into its own decision ledger; Run asserts the two streams are
+	// byte-identical in canonical form — cache decisions, like results,
+	// must not depend on the worker count.
+	led1, led4 := obs.NewLedger(0), obs.NewLedger(0)
+	mk := func(workers int, led *obs.Ledger) *core.Manager {
 		return core.NewManager(erp.DB, erp.Reg, core.Config{
 			Workers: workers,
 			Metrics: obs.NewRegistry(),
+			Ledger:  led,
 		})
 	}
 	r := &Runner{
 		erp:    erp,
-		m1:     mk(1),
-		m4:     mk(4),
+		m1:     mk(1, led1),
+		m4:     mk(4, led4),
+		led1:   led1,
+		led4:   led4,
 		staged: make(map[stagedKey]*table.OnlineMerge),
 		cfg:    cfg,
 	}
@@ -246,7 +255,47 @@ func (r *Runner) Run(ops []Op) error {
 			return fmt.Errorf("final check: %w", err)
 		}
 	}
+	return r.compareLedgers()
+}
+
+// compareLedgers asserts the worker-count independence of the decision
+// stream: the same op sequence must leave byte-identical canonical ledgers
+// in the one- and four-worker managers, and replaying both through the
+// shadow-cache advisor under the deterministic rows cost model must produce
+// byte-identical reports.
+func (r *Runner) compareLedgers() error {
+	c1 := obs.CanonLedger(r.led1.Snapshot())
+	c4 := obs.CanonLedger(r.led4.Snapshot())
+	if c1 != c4 {
+		return fmt.Errorf("decision ledgers diverged across worker counts:%s",
+			firstDiffLine(c1, c4))
+	}
+	opts := advisor.Options{Cost: advisor.CostRows, Metrics: obs.NewRegistry()}
+	a1 := advisor.Analyze(r.led1.Snapshot(), opts).CanonString()
+	a4 := advisor.Analyze(r.led4.Snapshot(), opts).CanonString()
+	if a1 != a4 {
+		return fmt.Errorf("advisor reports diverged across worker counts:%s",
+			firstDiffLine(a1, a4))
+	}
 	return nil
+}
+
+// firstDiffLine locates the first line where two canonical renderings
+// disagree, for failure reports.
+func firstDiffLine(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) || i < len(lb); i++ {
+		get := func(ls []string) string {
+			if i < len(ls) {
+				return ls[i]
+			}
+			return "<missing>"
+		}
+		if get(la) != get(lb) {
+			return fmt.Sprintf("\n line %d:\n  w1: %s\n  w4: %s", i, get(la), get(lb))
+		}
+	}
+	return "\n (lengths differ only)"
 }
 
 func (r *Runner) apply(op Op) error {

@@ -15,6 +15,9 @@ import (
 //	/metrics?format=prom  the same snapshot in Prometheus text format
 //	/debug/series       sampler ring buffers as JSON (time series per metric)
 //	/debug/cache        JSON dump produced by cacheDump (entry metrics by profit)
+//	/debug/advisor      shadow-cache what-if report as JSON (advisorSource)
+//	/debug/advisor?format=text
+//	                    the same report rendered as aligned text
 //	/debug/traces       flight-recorder listing (trace summaries, newest first)
 //	/debug/traces?id=N  one retained trace as span-tree JSON
 //	/debug/traces?id=N&format=trace_event
@@ -25,12 +28,16 @@ import (
 // cacheDump may be nil, in which case /debug/cache reports an empty list;
 // sampler may be nil, in which case /debug/series reports an empty object;
 // rec may be nil (flight recording disabled), in which case /debug/traces
-// lists nothing and every fetch is a 404.
+// lists nothing and every fetch is a 404; advisorSource may be nil (no
+// decision ledger), in which case /debug/advisor is a 404. advisorSource
+// runs the shadow-cache analysis on demand and returns the report value for
+// JSON plus its rendered text — a func so obs does not depend on the
+// advisor package.
 // Every introspection handler is GET-only (405 otherwise) and marked
 // Cache-Control: no-store — the payloads are live state, never cacheable.
 // The mux is plain net/http so the binaries start it with one goroutine
 // and no dependencies.
-func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder) *http.ServeMux {
+func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder, advisorSource func() (report any, text string)) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -72,6 +79,19 @@ func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Record
 			return
 		}
 		writeJSON(w, emptyAsList(cacheDump()))
+	})
+	handle("/debug/advisor", func(w http.ResponseWriter, r *http.Request) {
+		if advisorSource == nil {
+			http.Error(w, "no decision ledger", http.StatusNotFound)
+			return
+		}
+		report, text := advisorSource()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(text))
+			return
+		}
+		writeJSON(w, report)
 	})
 	handle("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		idStr := r.URL.Query().Get("id")
@@ -128,12 +148,12 @@ func emptyAsList(v any) any {
 // ServeDebug listens on addr and serves the debug mux in a background
 // goroutine. It returns the bound address (useful with a ":0" addr) or an
 // error if the listener cannot be opened.
-func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder) (string, error) {
+func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder, advisorSource func() (report any, text string)) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler, rec)}
+	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler, rec, advisorSource)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

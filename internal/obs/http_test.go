@@ -24,7 +24,10 @@ func TestServeDebugEndToEnd(t *testing.T) {
 	traceID := rec.Record(parallelTree())
 
 	var dumpResult any = nil // empty cache: a nil slice, the regression case
-	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler, rec)
+	advisorSource := func() (any, string) {
+		return map[string]int{"decisions": 3}, "== cache advisor ==\n"
+	}
+	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler, rec, advisorSource)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +97,19 @@ func TestServeDebugEndToEnd(t *testing.T) {
 		t.Fatalf("/debug/cache = %s", body)
 	}
 
+	// /debug/advisor serves the what-if report as JSON and rendered text.
+	resp, body = get("/debug/advisor")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"decisions": 3`) {
+		t.Fatalf("/debug/advisor = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get("/debug/advisor?format=text")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("advisor text Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "cache advisor") {
+		t.Fatalf("/debug/advisor?format=text = %q", body)
+	}
+
 	// /debug/traces: listing, span-tree fetch, trace-event export, and the
 	// not-retained/bad-id error paths.
 	_, body = get("/debug/traces")
@@ -150,9 +166,18 @@ func TestServeDebugEndToEnd(t *testing.T) {
 }
 
 func TestDebugMuxNilSamplerAndDump(t *testing.T) {
-	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil, nil)
+	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// No decision ledger: the advisor endpoint does not exist.
+	if resp, err := http.Get("http://" + addr + "/debug/advisor"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/debug/advisor without ledger = %d, want 404", resp.StatusCode)
+		}
 	}
 	for path, want := range map[string]string{
 		"/debug/series": "{}",
