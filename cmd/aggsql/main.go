@@ -22,6 +22,11 @@
 //	                     admission-threshold sweeps, eviction policies, tenant
 //	                     budget splits)
 //	\stats               dump the observability registry (counters, latencies)
+//	\slo                 windowed SLO report (error-budget burn over the short
+//	                     and long windows) plus the maintenance-governor
+//	                     snapshot when -govern is set
+//	\shapes              per-query-shape profiles: rolling p50/p99, hit rate,
+//	                     compensation cost, delta rows scanned
 //	\traces              list flight-recorded query traces (newest first)
 //	\traces <id>         print one trace's span tree and critical path
 //	\traces export <id> <file>
@@ -47,8 +52,14 @@
 //
 // With -debug <addr> the shell serves the observability debug endpoint:
 // /metrics (registry snapshot as JSON), /debug/cache (cache configuration,
-// eviction reasons, and entry metrics sorted by profit), and /debug/advisor
-// (the shadow-cache what-if report).
+// eviction reasons, and entry metrics sorted by profit), /debug/advisor
+// (the shadow-cache what-if report), /debug/slo (the windowed SLO report and
+// governor snapshot), and /debug/shapes (the per-query-shape profiles).
+//
+// With -govern the metrics-driven maintenance governor runs in the
+// background: it watches delta growth, windowed compensation cost, and SLO
+// burn, and triggers online merges of the transactional tables with
+// hysteresis and a cooldown (\merge stays available for manual merges).
 package main
 
 import (
@@ -86,6 +97,8 @@ type shell struct {
 	rec *obs.Recorder
 	// led is the cache decision ledger behind \advisor; nil when disabled.
 	led *obs.Ledger
+	// gov is the maintenance governor; nil unless -govern.
+	gov *core.Governor
 }
 
 // advisorReport replays the shell's ledger through the shadow-cache
@@ -113,6 +126,9 @@ func main() {
 		ledger    = flag.Int("ledger", obs.DefaultLedgerCapacity, "decision-ledger ring size (last n cache decisions retained for \\advisor and /debug/advisor); 0 disables the ledger")
 		capacity  = flag.Uint64("capacity", 0, "cache capacity in bytes (0 = unlimited); evictions feed the ledger and the advisor")
 		minProfit = flag.Float64("min-profit", 0, "cache admission threshold on entry profit (0 admits every self-maintainable query)")
+		govern    = flag.Bool("govern", false, "run the metrics-driven maintenance governor (background online merges with hysteresis and cooldown)")
+		sloTarget = flag.Duration("slo-target", obs.DefaultSLOTarget, "per-query latency target for the SLO tracker (\\slo, /debug/slo)")
+		sloObj    = flag.Float64("slo-objective", obs.DefaultSLOObjective, "fraction of queries that must meet the SLO target")
 	)
 	flag.Parse()
 
@@ -148,12 +164,28 @@ func main() {
 		Ledger:        led,
 		CapacityBytes: *capacity,
 		MinProfit:     *minProfit,
+		SLO:           obs.NewSLO(obs.SLOConfig{Target: *sloTarget, Objective: *sloObj}),
+		Shapes:        obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggsql: %v\n", err)
 		os.Exit(1)
 	}
 	sh.onlineMerge = *online
+
+	// The governor owns the rolling-window rotation; without it the windows
+	// still fill but never rotate, which an interactive shell rarely
+	// notices. With -govern it also merges the transactional deltas when
+	// the signals say so.
+	if *govern {
+		sh.gov = core.NewGovernor(sh.mgr, core.GovernorConfig{
+			Tables:        sh.mergeTables,
+			DeltaRowsHigh: 20000,
+			CompP99HighUS: 5000,
+		})
+		sh.gov.Start()
+		defer sh.gov.Stop()
+	}
 
 	if *debugAddr != "" {
 		sampler := obs.NewSampler(sh.mgr.Metrics(), obs.SamplerConfig{Interval: *sample})
@@ -168,14 +200,24 @@ func main() {
 				return rep, sb.String()
 			}
 		}
-		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), func() any {
-			return sh.mgr.CacheDebug()
-		}, sampler, rec, advisorSource)
+		var governor func() any
+		if sh.gov != nil {
+			governor = func() any { return sh.gov.Snapshot() }
+		}
+		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), obs.DebugOptions{
+			CacheDump: func() any { return sh.mgr.CacheDebug() },
+			Sampler:   sampler,
+			Recorder:  rec,
+			Advisor:   advisorSource,
+			SLO:       sh.mgr.SLO(),
+			Shapes:    sh.mgr.Shapes(),
+			Governor:  governor,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces, /debug/advisor\n", addr)
+		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces, /debug/advisor, /debug/slo, /debug/shapes\n", addr)
 	}
 
 	if *stmt != "" {
@@ -310,6 +352,13 @@ func (sh *shell) runExplainAnalyze(stmt string) error {
 	}
 	sp.Render(os.Stdout)
 	obs.Analyze(sp).Render(os.Stdout)
+	shape := st.Query.Shape()
+	if prof, ok := sh.mgr.Shapes().Profile(shape); ok {
+		fmt.Printf("-- shape: %s\n-- shape history: %d queries, hit rate %.0f%%, rolling p50=%dus p99=%dus\n",
+			shape, prof.Queries, prof.HitRate*100, prof.Window.P50US, prof.Window.P99US)
+	} else {
+		fmt.Printf("-- shape: %s (no profile yet)\n", shape)
+	}
 	if info.Regret > 0 {
 		fmt.Printf("-- regret: this miss was a ledger-predicted hit at capacity %.1fx\n", info.Regret)
 	}
@@ -358,7 +407,9 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \advisor  \stats  \quit
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \advisor  \stats  \slo  \shapes  \quit
+\slo                        windowed SLO report and governor snapshot (-govern)
+\shapes                     per-query-shape profiles (rolling p50/p99, hit rate)
 \traces                     list flight-recorded query traces (newest first)
 \traces <id>                print one trace's span tree and critical path
 \traces export <id> <file>  write the trace as Chrome trace-event JSON (ui.perfetto.dev)
@@ -449,6 +500,33 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			h := snap.Histograms[name]
 			fmt.Printf("  %-28s count=%d mean=%.0fus p50=%dus p99=%dus\n",
 				name, h.Count, h.MeanUS, h.P50US, h.P99US)
+		}
+	case "\\slo":
+		sh.mgr.SLO().Report().Render(os.Stdout)
+		if sh.gov != nil {
+			snap := sh.gov.Snapshot()
+			fmt.Printf("governor: ticks=%d merges=%d ages=%d armed=%v overloaded=%v queue=%d burn-short=%.2f delta-rows=%d\n",
+				snap.Ticks, snap.Merges, snap.Ages, snap.Armed,
+				snap.Overload.Overloaded, snap.Overload.QueueDepth,
+				snap.Overload.BurnShort, snap.Overload.DeltaRows)
+			if snap.LastAction != "" {
+				fmt.Printf("governor: last action %s (%s)\n", snap.LastAction, snap.LastReason)
+			}
+		} else {
+			fmt.Println("governor: off (run with -govern)")
+		}
+	case "\\shapes":
+		profiles := sh.mgr.Shapes().Profiles()
+		if len(profiles) == 0 {
+			fmt.Println("no shape profiles yet — run a query first")
+			break
+		}
+		fmt.Printf("  %7s  %6s  %9s  %9s  %9s  %10s  %s\n",
+			"queries", "hit%", "p50us", "p99us", "comp-us", "delta-rows", "shape")
+		for _, p := range profiles {
+			fmt.Printf("  %7d  %5.1f%%  %9d  %9d  %9.0f  %10.0f  %s\n",
+				p.Queries, p.HitRate*100, p.Window.P50US, p.Window.P99US,
+				p.MeanCompUS, p.MeanDeltaRows, p.Shape)
 		}
 	case "\\advisor":
 		if !sh.led.Enabled() {

@@ -1,11 +1,16 @@
-// Command benchdiff compares two BENCH_<exp>.json files produced by
-// benchrunner -json and exits non-zero when the candidate run regresses the
+// Command benchdiff compares BENCH_<exp>.json files produced by
+// benchrunner -json and exits non-zero when a candidate run regresses its
 // baseline's latency series beyond a threshold — the perf-regression gate
-// CI runs against the committed baseline.
+// CI runs against the committed baselines.
 //
 // Usage:
 //
-//	benchdiff [flags] baseline.json candidate.json
+//	benchdiff [flags] baseline.json candidate.json [baseline2 candidate2 ...]
+//
+// Arguments are consecutive baseline/candidate pairs, so one invocation
+// gates every experiment: each pair is diffed independently, a summary
+// line lists the verdict per pair, and the exit code is 1 if ANY pair
+// regresses.
 //
 //	-threshold 0.10   relative slowdown flagged as a regression (10%)
 //	-hard-fail 2.0    slowdown factor that always fails, even with -warn-only
@@ -13,8 +18,8 @@
 //	-warn-only        report soft regressions but exit 0 (noisy CI runners);
 //	                  hard regressions still fail
 //
-// Exit codes: 0 no regression (or warn-only), 1 regression, 2 usage or
-// input error.
+// Exit codes: 0 no regression (or warn-only), 1 regression in at least one
+// pair, 2 usage or input error.
 package main
 
 import (
@@ -42,31 +47,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json candidate.json")
+	if fs.NArg() < 2 || fs.NArg()%2 != 0 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json candidate.json [baseline2 candidate2 ...]")
 		return 2
 	}
-	base, err := bench.LoadReport(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
-		return 2
+
+	type verdict struct {
+		pair string // "baseline vs candidate"
+		word string // PASS, WARN, or FAIL
 	}
-	cand, err := bench.LoadReport(fs.Arg(1))
-	if err != nil {
-		fmt.Fprintf(stderr, "benchdiff: candidate: %v\n", err)
-		return 2
+	var verdicts []verdict
+	exit := 0
+	for i := 0; i < fs.NArg(); i += 2 {
+		basePath, candPath := fs.Arg(i), fs.Arg(i+1)
+		base, err := bench.LoadReport(basePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+			return 2
+		}
+		cand, err := bench.LoadReport(candPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: candidate: %v\n", err)
+			return 2
+		}
+		d := bench.DiffReports(base, cand, bench.DiffOptions{Threshold: *threshold, HardFactor: *hardFail})
+		d.Render(stdout)
+		v := verdict{pair: basePath + " vs " + candPath, word: "PASS"}
+		switch {
+		case len(d.HardRegressions()) > 0:
+			fmt.Fprintf(stderr, "benchdiff: FAIL: hard regression (%s)\n", d.ShaPair())
+			v.word = "FAIL"
+			exit = 1
+		case len(d.Regressions()) > 0 && !*warnOnly:
+			fmt.Fprintf(stderr, "benchdiff: FAIL: latency regression beyond threshold (%s)\n", d.ShaPair())
+			v.word = "FAIL"
+			exit = 1
+		case len(d.Regressions()) > 0:
+			fmt.Fprintf(stderr, "benchdiff: WARN: latency regression beyond threshold (warn-only, %s)\n", d.ShaPair())
+			v.word = "WARN"
+		}
+		verdicts = append(verdicts, v)
 	}
-	d := bench.DiffReports(base, cand, bench.DiffOptions{Threshold: *threshold, HardFactor: *hardFail})
-	d.Render(stdout)
-	switch {
-	case len(d.HardRegressions()) > 0:
-		fmt.Fprintf(stderr, "benchdiff: FAIL: hard regression (%s)\n", d.ShaPair())
-		return 1
-	case len(d.Regressions()) > 0 && !*warnOnly:
-		fmt.Fprintf(stderr, "benchdiff: FAIL: latency regression beyond threshold (%s)\n", d.ShaPair())
-		return 1
-	case len(d.Regressions()) > 0:
-		fmt.Fprintf(stderr, "benchdiff: WARN: latency regression beyond threshold (warn-only, %s)\n", d.ShaPair())
+	// One summary line per pair, so a multi-experiment CI gate shows which
+	// experiment moved without scrolling through every diff table.
+	if len(verdicts) > 1 {
+		fmt.Fprintf(stdout, "\n%d pair(s):\n", len(verdicts))
+		for _, v := range verdicts {
+			fmt.Fprintf(stdout, "  %-4s %s\n", v.word, v.pair)
+		}
 	}
-	return 0
+	return exit
 }

@@ -71,4 +71,37 @@ func TestUsageAndInputErrors(t *testing.T) {
 	if code, _, _ := runCLI(t, "nonexistent.json", "alsomissing.json"); code != 2 {
 		t.Fatalf("missing-file exit = %d, want 2", code)
 	}
+	// An odd argument count is a usage error, not a silent half-pair.
+	base := filepath.Join(testdata, "diff_base.json")
+	if code, _, errOut := runCLI(t, base, base, base); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("odd-args exit = %d, want 2", code)
+	}
+}
+
+// TestMultiplePairsAllPass: several baseline/candidate pairs in one
+// invocation, all clean, exit 0, and the summary lists every pair.
+func TestMultiplePairsAllPass(t *testing.T) {
+	base := filepath.Join(testdata, "diff_base.json")
+	code, out, _ := runCLI(t, base, base, base, base)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 pair(s):") || strings.Count(out, "PASS") != 2 {
+		t.Fatalf("summary missing or wrong:\n%s", out)
+	}
+}
+
+// TestMultiplePairsOneFails: one regressed pair among clean ones fails the
+// whole invocation, and the summary shows which pair moved.
+func TestMultiplePairsOneFails(t *testing.T) {
+	base := filepath.Join(testdata, "diff_base.json")
+	regressed := filepath.Join(testdata, "diff_regressed.json")
+	code, out, errOut := runCLI(t, base, base, base, regressed)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "PASS "+base+" vs "+base) ||
+		!strings.Contains(out, "FAIL "+base+" vs "+regressed) {
+		t.Fatalf("summary does not identify the failing pair:\n%s", out)
+	}
 }

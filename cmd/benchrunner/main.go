@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (fig6, mem, insert, fig7, fig8, fig9, fig10, fig11) or 'all'")
+		exp       = flag.String("exp", "all", "experiment id (fig6, mem, insert, fig7, fig8, fig9, fig10, fig11, serve, ...) or 'all'")
 		quick     = flag.Bool("quick", false, "run the scaled-down configurations")
 		normalize = flag.Bool("normalize", false, "additionally print normalized execution times (as the paper plots)")
 		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json per experiment (series + metrics snapshot)")
@@ -46,12 +46,16 @@ func main() {
 		online    = flag.Bool("online-merge", false, "run the experiments' delta merges as non-blocking online merges")
 		advise    = flag.Bool("advisor", false, "attach a cache decision ledger to the workload experiments and embed the shadow-cache what-if report (capacity/threshold sweeps, policies, tenant splits) into BENCH_<exp>.json")
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		soak      = flag.Duration("soak", 0, "per-arm duration of the serve soak experiment (0 = experiment default)")
+		govern    = flag.Bool("govern", false, "run only the governed arm of the serve soak (skip the ungoverned control arm)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 	bench.Workers = *workers
 	bench.OnlineMerge = *online
 	bench.Advisor = *advise
+	bench.SoakDuration = *soak
+	bench.SoakGovernedOnly = *govern
 	if *traceOut != "" {
 		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)
@@ -87,7 +91,7 @@ func main() {
 		sampler := obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
 		sampler.Start()
 		defer sampler.Stop()
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, sampler, nil, nil)
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), obs.DebugOptions{Sampler: sampler})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: debug endpoint: %v\n", err)
 			os.Exit(1)

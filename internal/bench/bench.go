@@ -103,6 +103,10 @@ type Result struct {
 	// Notes carries observations the paper's text reports alongside the
 	// figure (speedup factors, crossover points).
 	Notes []string `json:"notes,omitempty"`
+	// Soak is the structured throughput/SLO section of the serve soak
+	// experiment (QPS and hit rate live here, not in Series, because every
+	// series is a latency series to benchdiff).
+	Soak *SoakStats `json:"soak,omitempty"`
 	// Traces holds the per-point query traces the experiment captured; they
 	// are surfaced through Report.Traces rather than the result section.
 	Traces []TraceStat `json:"-"`
@@ -340,6 +344,7 @@ func All() []Experiment {
 		{ID: "fig11", Title: "Join pruning with hot/cold partitioning (Fig. 11)", Run: RunFig11},
 		{ID: "ablate-sync", Title: "Merge synchronization ablation (Sec. 5.2)", Run: RunAblateMergeSync},
 		{ID: "ablate-negdelta", Title: "Negative-delta join compensation vs rebuild (Sec. 8 extension)", Run: RunAblateNegDelta},
+		{ID: "serve", Title: "Closed-loop soak: sustained mixed traffic with SLO tracking and the maintenance governor", Run: RunServe},
 	}
 }
 

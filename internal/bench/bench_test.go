@@ -39,8 +39,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id found")
 	}
-	if len(All()) != 10 {
-		t.Fatalf("experiments = %d, want 10", len(All()))
+	if len(All()) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(All()))
 	}
 }
 

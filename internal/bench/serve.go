@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"aggcache/internal/core"
+	"aggcache/internal/obs"
+	"aggcache/internal/query"
+	"aggcache/internal/workload"
+)
+
+// SoakDuration overrides the per-arm duration of the serve soak;
+// cmd/benchrunner sets it from -soak. 0 keeps the experiment's default
+// (which depends on quick mode).
+var SoakDuration time.Duration
+
+// SoakGovernedOnly restricts the serve soak to the governed arm;
+// cmd/benchrunner sets it from -govern. CI uses it for the short
+// race-enabled soak, where the ungoverned control arm adds nothing.
+var SoakGovernedOnly bool
+
+// serveParams sizes one soak run.
+type serveParams struct {
+	erpHeaders int
+	chOrders   int
+	clients    int
+	duration   time.Duration
+	slices     int
+	// writePause throttles the two writer goroutines between insert batches,
+	// bounding writer lock pressure; writeBatch is the number of business
+	// objects inserted per writer-lock acquisition (readers hold the read
+	// lock nearly continuously, so one-object batches would starve the
+	// writers down to a trickle).
+	writePause time.Duration
+	writeBatch int
+	// writeFor bounds how long the writers run; 0 means the whole soak.
+	// The paired test front-loads the writes so the tail slices measure
+	// steady state: governed with drained deltas vs ungoverned dragging
+	// the full backlog.
+	writeFor time.Duration
+	// deltaHigh is the governed arm's delta-rows high-water mark.
+	deltaHigh int64
+	// govTick / govRotate pace the governor control loop and the rolling
+	// windows, scaled so even a quick soak sees several rotations and has
+	// room for several merges.
+	govTick   time.Duration
+	govRotate time.Duration
+	sloTarget time.Duration
+}
+
+func serveQuickParams() serveParams {
+	return serveParams{
+		erpHeaders: 3000, chOrders: 1200, clients: 4,
+		duration: 1500 * time.Millisecond, slices: 5,
+		writePause: 200 * time.Microsecond, writeBatch: 10, deltaHigh: 2500,
+		govTick: 25 * time.Millisecond, govRotate: 250 * time.Millisecond,
+		sloTarget: 20 * time.Millisecond,
+	}
+}
+
+func serveFullParams() serveParams {
+	return serveParams{
+		erpHeaders: 20000, chOrders: 8000, clients: 8,
+		duration: 8 * time.Second, slices: 8,
+		writePause: 100 * time.Microsecond, writeBatch: 20, deltaHigh: 10000,
+		govTick: 50 * time.Millisecond, govRotate: 500 * time.Millisecond,
+		sloTarget: 50 * time.Millisecond,
+	}
+}
+
+// SoakArm summarizes one arm of the soak: the client-observed latency
+// distribution, throughput, and the engine/SLO/governor state at the end.
+// QPS and hit rate live here (and in the notes) rather than in Result.Series
+// because every series is by convention a latency series — benchdiff treats
+// a higher Y as a regression, which would invert their meaning.
+type SoakArm struct {
+	Governed  bool    `json:"governed"`
+	Queries   int64   `json:"queries"`
+	Errors    int64   `json:"errors,omitempty"`
+	QPS       float64 `json:"qps"`
+	HitRate   float64 `json:"hit_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	WritesERP int64   `json:"writes_erp"`
+	WritesCH  int64   `json:"writes_ch"`
+	// SLOGoodFrac and BurnLong merge the ERP and CH managers' SLO windows.
+	SLOGoodFrac float64 `json:"slo_good_frac"`
+	BurnLong    float64 `json:"burn_long"`
+	// Merges counts governor-triggered online merges (governed arm only);
+	// DeltaRowsEnd is the governed tables' total delta backlog at the end.
+	Merges       int64 `json:"merges,omitempty"`
+	DeltaRowsEnd int64 `json:"delta_rows_end"`
+}
+
+// SoakStats is the structured soak section of BENCH_serve.json.
+type SoakStats struct {
+	DurationMS float64   `json:"duration_ms"`
+	Clients    int       `json:"clients"`
+	Arms       []SoakArm `json:"arms"`
+}
+
+// serveSample is one client-observed query completion.
+type serveSample struct {
+	slice int
+	us    int64
+	hit   bool
+}
+
+// soakQuery pairs a prepared query with the manager that executes it.
+// Queries are prebuilt once per arm so fingerprint/shape memoization works
+// as it would for a server's prepared statements.
+type soakQuery struct {
+	mgr *core.Manager
+	q   *query.Query
+}
+
+// RunServe is the closed-loop soak: N client goroutines replay a mixed
+// ERP + CH-benCHmark read stream against two cache managers while one
+// writer per database grows the deltas, for one ungoverned arm (deltas
+// accumulate unchecked) and one governed arm (the maintenance governor
+// merges them when the windowed signals say so). The series report the
+// client-observed p50/p99 per time slice for each arm — the paper-style
+// view of what object-aware caching plus governed maintenance buys under
+// sustained traffic.
+func RunServe(quick bool) (*Result, error) {
+	p := serveFullParams()
+	if quick {
+		p = serveQuickParams()
+	}
+	if SoakDuration > 0 {
+		p.duration = SoakDuration
+	}
+
+	res := &Result{
+		ID:     "serve",
+		Title:  "Closed-loop soak: mixed ERP/CH read-write stream, SLO and governor",
+		XLabel: "time slice",
+		YLabel: "client-observed ms",
+	}
+	soak := &SoakStats{DurationMS: float64(p.duration) / float64(time.Millisecond), Clients: p.clients}
+
+	arms := []bool{false, true}
+	if SoakGovernedOnly {
+		arms = []bool{true}
+	}
+	for _, governed := range arms {
+		arm, series, err := runServeArm(p, governed)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series...)
+		soak.Arms = append(soak.Arms, *arm)
+		label := "ungoverned"
+		if governed {
+			label = "governed"
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: %d queries at %.0f qps, hit rate %.1f%%, p50 %.3fms p99 %.3fms, slo-good %.2f%% burn %.2f, %d+%d writes, %d merges, %d delta rows left",
+			label, arm.Queries, arm.QPS, arm.HitRate*100, arm.P50MS, arm.P99MS,
+			arm.SLOGoodFrac*100, arm.BurnLong, arm.WritesERP, arm.WritesCH,
+			arm.Merges, arm.DeltaRowsEnd))
+	}
+	res.Soak = soak
+	return res, nil
+}
+
+// runServeArm builds fresh ERP and CH databases and runs one soak arm.
+func runServeArm(p serveParams, governed bool) (*SoakArm, []Series, error) {
+	erpCfg := workload.DefaultERPConfig()
+	erpCfg.Headers = p.erpHeaders
+	erp, err := workload.BuildERP(erpCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	chCfg := workload.DefaultCHConfig()
+	chCfg.Orders = p.chOrders
+	ch, err := workload.BuildCH(chCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Each manager gets its own SLO and shape table: its governor rotates
+	// its own windows, so sharing one tracker would double the rotation
+	// cadence.
+	sloCfg := obs.SLOConfig{Target: p.sloTarget}
+	mgrERP := core.NewManager(erp.DB, erp.Reg, core.Config{
+		Workers: Workers,
+		SLO:     obs.NewSLO(sloCfg),
+		Shapes:  obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+	})
+	mgrCH := core.NewManager(ch.DB, ch.Reg, core.Config{
+		Workers: Workers,
+		SLO:     obs.NewSLO(sloCfg),
+		Shapes:  obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+	})
+
+	// The read mix: the ERP profit/revenue dashboard plus the four CH
+	// analytics queries, all under full pruning.
+	year := erpCfg.BaseYear + erpCfg.Years - 1
+	lang := erpCfg.Languages[0]
+	queries := []soakQuery{
+		{mgrERP, erp.ProfitQuery(year, lang)},
+		{mgrERP, erp.ProfitQuery(erpCfg.BaseYear, lang)},
+		{mgrERP, erp.YearRangeQuery(erpCfg.BaseYear, year)},
+		{mgrERP, erp.HeaderCountQuery()},
+		{mgrERP, erp.ItemRevenueQuery()},
+		{mgrCH, ch.Q3()},
+		{mgrCH, ch.Q5()},
+		{mgrCH, ch.Q9()},
+		{mgrCH, ch.Q10()},
+	}
+	// The readers share these Query objects, and the first Fingerprint/
+	// Shape call memoizes into the struct — warm both before any goroutine
+	// starts so the hot path only ever reads them.
+	for _, sq := range queries {
+		sq.q.Fingerprint()
+		sq.q.Shape()
+	}
+
+	var govERP, govCH *core.Governor
+	if governed {
+		govERP = core.NewGovernor(mgrERP, core.GovernorConfig{
+			Tables:        []string{workload.THeader, workload.TItem},
+			DeltaRowsHigh: p.deltaHigh,
+			Interval:      p.govTick,
+			Rotate:        p.govRotate,
+			Cooldown:      2 * p.govRotate,
+		})
+		govCH = core.NewGovernor(mgrCH, core.GovernorConfig{
+			Tables:        []string{workload.TOrders, workload.TNewOrder, workload.TOrderline},
+			DeltaRowsHigh: p.deltaHigh,
+			Interval:      p.govTick,
+			Rotate:        p.govRotate,
+			Cooldown:      2 * p.govRotate,
+		})
+		govERP.Start()
+		govCH.Start()
+		defer govERP.Stop()
+		defer govCH.Stop()
+	}
+
+	start := time.Now()
+	deadline := start.Add(p.duration)
+	writeDeadline := deadline
+	if p.writeFor > 0 && p.writeFor < p.duration {
+		writeDeadline = start.Add(p.writeFor)
+	}
+	sliceDur := p.duration / time.Duration(p.slices)
+
+	var (
+		mu      sync.Mutex
+		samples []serveSample
+		armErr  error
+	)
+	var wg sync.WaitGroup
+
+	// Readers: closed-loop clients, each with its own deterministic mix.
+	for c := 0; c < p.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			local := make([]serveSample, 0, 4096)
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					break
+				}
+				sq := queries[rng.Intn(len(queries))]
+				qStart := time.Now()
+				_, info, err := sq.mgr.Execute(sq.q, core.CachedFullPruning)
+				if err != nil {
+					mu.Lock()
+					if armErr == nil {
+						armErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				slice := int(qStart.Sub(start) / sliceDur)
+				if slice >= p.slices {
+					slice = p.slices - 1
+				}
+				local = append(local, serveSample{
+					slice: slice,
+					us:    int64(time.Since(qStart) / time.Microsecond),
+					hit:   info.CacheHit,
+				})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(c)
+	}
+
+	// Writers: one per database. The insert generators are single-threaded
+	// and rows land in delta stores read by concurrent queries, so each
+	// write runs under the database writer lock.
+	var writesERP, writesCH int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(writeDeadline) {
+			erp.DB.Lock()
+			err := erp.InsertBusinessObjects(p.writeBatch)
+			erp.DB.Unlock()
+			if err != nil {
+				mu.Lock()
+				if armErr == nil {
+					armErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			writesERP += int64(p.writeBatch)
+			time.Sleep(p.writePause)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(writeDeadline) {
+			ch.DB.Lock()
+			var err error
+			for i := 0; i < p.writeBatch && err == nil; i++ {
+				err = ch.InsertOrder()
+			}
+			ch.DB.Unlock()
+			if err != nil {
+				mu.Lock()
+				if armErr == nil {
+					armErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			writesCH += int64(p.writeBatch)
+			time.Sleep(p.writePause)
+		}
+	}()
+	wg.Wait()
+	if armErr != nil {
+		return nil, nil, armErr
+	}
+	elapsed := time.Since(start)
+
+	// Exact quantiles from the client-observed samples, per slice and
+	// overall.
+	bySlice := make([][]int64, p.slices)
+	all := make([]int64, 0, len(samples))
+	var hits int64
+	for _, s := range samples {
+		bySlice[s.slice] = append(bySlice[s.slice], s.us)
+		all = append(all, s.us)
+		if s.hit {
+			hits++
+		}
+	}
+	label := "ungoverned"
+	if governed {
+		label = "governed"
+	}
+	p50s := Series{Label: "p50 " + label}
+	p99s := Series{Label: "p99 " + label}
+	for i, sl := range bySlice {
+		if len(sl) == 0 {
+			continue
+		}
+		x := float64(i + 1)
+		p50s.Points = append(p50s.Points, Point{X: x, Y: exactQuantileMS(sl, 0.50)})
+		p99s.Points = append(p99s.Points, Point{X: x, Y: exactQuantileMS(sl, 0.99)})
+	}
+
+	arm := &SoakArm{
+		Governed:  governed,
+		Queries:   int64(len(samples)),
+		QPS:       float64(len(samples)) / elapsed.Seconds(),
+		P50MS:     exactQuantileMS(all, 0.50),
+		P99MS:     exactQuantileMS(all, 0.99),
+		WritesERP: writesERP,
+		WritesCH:  writesCH,
+	}
+	if len(samples) > 0 {
+		arm.HitRate = float64(hits) / float64(len(samples))
+	}
+	erpRep := mgrERP.SLO().Report()
+	chRep := mgrCH.SLO().Report()
+	if total := erpRep.LongTotal + chRep.LongTotal; total > 0 {
+		good := (erpRep.LongTotal - erpRep.LongBad) + (chRep.LongTotal - chRep.LongBad)
+		arm.SLOGoodFrac = float64(good) / float64(total)
+		arm.BurnLong = (1 - arm.SLOGoodFrac) / (1 - erpRep.Objective)
+	}
+	arm.DeltaRowsEnd = deltaBacklog(erp, ch)
+	if governed {
+		arm.Merges = govERP.Snapshot().Merges + govCH.Snapshot().Merges
+	}
+	return arm, []Series{p50s, p99s}, nil
+}
+
+// deltaBacklog sums the delta rows left in the soak's transactional tables.
+func deltaBacklog(erp *workload.ERP, ch *workload.CH) int64 {
+	var total int64
+	erp.DB.RLock()
+	for _, name := range []string{workload.THeader, workload.TItem} {
+		total += int64(erp.DB.MustTable(name).DeltaRows())
+	}
+	erp.DB.RUnlock()
+	ch.DB.RLock()
+	for _, name := range []string{workload.TOrders, workload.TNewOrder, workload.TOrderline} {
+		total += int64(ch.DB.MustTable(name).DeltaRows())
+	}
+	ch.DB.RUnlock()
+	return total
+}
+
+// exactQuantileMS returns the q-quantile of the microsecond samples in
+// milliseconds (nearest-rank on the sorted data).
+func exactQuantileMS(us []int64, q float64) float64 {
+	if len(us) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), us...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1000
+}

@@ -137,6 +137,7 @@ func (m *Manager) entryDecision(kind obs.DecisionKind, e *Entry) obs.Decision {
 	return obs.Decision{
 		Kind:         kind,
 		Key:          e.Key,
+		Shape:        e.Query.Shape(),
 		Hits:         e.Metrics.Hits,
 		SizeBytes:    e.Metrics.SizeBytes,
 		ComputeNS:    int64(e.Metrics.MainExecTime),
@@ -184,7 +185,7 @@ func (m *Manager) recordAccess(q *query.Query, info *ExecInfo) {
 		// Rejected miss (or an entry already evicted again): no resident
 		// entry to snapshot; the reject decision carried the components.
 		d = obs.Decision{
-			Kind: kind, Key: key,
+			Kind: kind, Key: key, Shape: q.Shape(),
 			CacheBytes: m.bytes, CacheEntries: int64(len(m.entries)),
 		}
 	}

@@ -58,6 +58,17 @@ type Config struct {
 	// default) disables the ledger; the per-decision hook then costs one nil
 	// check and no allocations.
 	Ledger *obs.Ledger
+	// SLO is the latency service-level-objective tracker: when non-nil,
+	// every execution is classified against its latency target, feeding the
+	// error-budget burn rates behind /debug/slo, \slo, and the maintenance
+	// governor's overload signal. Nil (the default) disables SLO tracking.
+	SLO *obs.SLO
+	// Shapes is the per-query-shape profile table: when non-nil, every
+	// execution is attributed to its normalized shape fingerprint
+	// (query.Shape — literals elided), recording hit rate, compensation
+	// cost, delta rows, and windowed latency per shape for /debug/shapes,
+	// \shapes, and EXPLAIN ANALYZE. Nil (the default) disables profiling.
+	Shapes *obs.Shapes
 }
 
 // ExecInfo reports how one query execution was served.
@@ -80,6 +91,12 @@ type ExecInfo struct {
 	Stats query.Stats
 	// Total is the wall-clock execution time.
 	Total time.Duration
+	// DeltaComp is the wall clock spent in delta compensation, and
+	// DeltaTuples the delta-side tuples joined by it — the per-execution
+	// compensation cost the shape profiler and governor watch. Zero for
+	// uncached executions.
+	DeltaComp   time.Duration
+	DeltaTuples int64
 	// Regret is the ghost-list verdict for a miss: when nonzero, the missed
 	// key was evicted earlier and this is the cache-bytes / CapacityBytes
 	// multiple at eviction time — the capacity factor at which the ledger
@@ -103,6 +120,8 @@ type Manager struct {
 	ev      *obs.EventLog
 	rec     *obs.Recorder
 	led     *obs.Ledger
+	slo     *obs.SLO
+	shapes  *obs.Shapes
 	// ghost is the bounded shadow of recently evicted keys (ghostFIFO holds
 	// insertion order); a miss that finds its key here is a capacity regret.
 	ghost     map[string]ghostInfo
@@ -162,6 +181,8 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		ev:                ev,
 		rec:               cfg.Recorder,
 		led:               cfg.Ledger,
+		slo:               cfg.SLO,
+		shapes:            cfg.Shapes,
 		ghost:             make(map[string]ghostInfo),
 		evictionsByReason: make(map[string]int64),
 		pendingFolds:      make(map[foldKey]*pendingFold),
@@ -219,10 +240,12 @@ func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, Exec
 	defer m.db.RUnlock()
 	snap, unpin := m.db.Txns().PinRead()
 	defer unpin()
+	defer m.trackInflight()()
 	var sp *obs.Span
 	if m.rec.Enabled() {
 		sp = obs.StartSpan("execute " + q.Fingerprint())
 		sp.Attr("strategy", strat.String())
+		sp.Attr("shape", q.Shape())
 	}
 	res, info, err := m.execute(q, snap, strat, sp)
 	if sp != nil {
@@ -257,17 +280,20 @@ func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTabl
 	defer m.db.RUnlock()
 	snap, unpin := m.db.Txns().PinRead()
 	defer unpin()
+	defer m.trackInflight()()
 	sp := obs.StartSpan("execute " + q.Fingerprint())
 	sp.Attr("strategy", strat.String())
+	sp.Attr("shape", q.Shape())
 	res, info, err := m.execute(q, snap, strat, sp)
 	sp.End()
 	m.rec.Record(sp)
 	return res, info, sp, err
 }
 
-func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp *obs.Span) (*query.AggTable, ExecInfo, error) {
+func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp *obs.Span) (res *query.AggTable, info ExecInfo, err error) {
+	defer func() { m.recordServed(q, &info, err) }()
 	start := time.Now()
-	info := ExecInfo{Strategy: strat}
+	info = ExecInfo{Strategy: strat}
 	e, work, uncachedRes, err := m.prepare(q, snap, strat, &info, sp)
 	if err != nil || uncachedRes != nil {
 		info.Total = time.Since(start)
@@ -292,13 +318,15 @@ func (m *Manager) execute(q *query.Query, snap txn.Snapshot, strat Strategy, sp 
 // streaming the cached groups merged with the delta compensation applied to
 // a separate accumulator — the fast path for frequent cache hits. Rows are
 // returned unsorted.
-func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, ExecInfo, error) {
+func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) (rows []query.Row, info ExecInfo, err error) {
 	m.db.RLock()
 	defer m.db.RUnlock()
+	defer m.trackInflight()()
+	defer func() { m.recordServed(q, &info, err) }()
 	start := time.Now()
 	snap, unpin := m.db.Txns().PinRead()
 	defer unpin()
-	info := ExecInfo{Strategy: strat}
+	info = ExecInfo{Strategy: strat}
 	e, work, uncachedRes, err := m.prepare(q, snap, strat, &info, nil)
 	if err != nil {
 		return nil, info, err
@@ -313,7 +341,7 @@ func (m *Manager) ExecuteRows(q *query.Query, strat Strategy) ([]query.Row, Exec
 	if err := m.compensateAndAccount(e, q, snap, strat, comp, &info, nil); err != nil {
 		return nil, info, err
 	}
-	rows := work.MergedRows(comp)
+	rows = work.MergedRows(comp)
 	info.Total = time.Since(start)
 	m.obs.recordExec(&info)
 	m.recordAccess(q, &info)
@@ -477,7 +505,10 @@ func (m *Manager) compensateAndAccount(e *Entry, q *query.Query, snap txn.Snapsh
 	ds.AttrInt("delta-tuples", info.Stats.TuplesJoined-before)
 	ds.End()
 	dcTime := time.Since(dcStart)
+	info.DeltaComp = dcTime
+	info.DeltaTuples = info.Stats.TuplesJoined - before
 	m.obs.deltaCompLat.Observe(dcTime)
+	m.obs.compWin.Observe(dcTime)
 	m.mu.Lock()
 	e.Metrics.DeltaCompTime += dcTime
 	e.Metrics.DeltaRows += info.Stats.TuplesJoined - before
@@ -826,6 +857,51 @@ func (m *Manager) mainCompensate(e *Entry, snap txn.Snapshot, strat Strategy, st
 	m.ledCompensate(e, total, mode.String())
 	_ = strat
 	return total, nil
+}
+
+// trackInflight bumps the exec.inflight gauge for the duration of one
+// public execution — the queue-depth half of the governor's overload
+// signal. Call as `defer m.trackInflight()()`.
+func (m *Manager) trackInflight() func() {
+	m.obs.inflight.Add(1)
+	return func() { m.obs.inflight.Add(-1) }
+}
+
+// recordServed classifies one finished execution against the optional SLO
+// tracker and attributes it to its normalized shape in the optional
+// profiler. Both are nil-disabled; the common case costs two nil checks.
+func (m *Manager) recordServed(q *query.Query, info *ExecInfo, err error) {
+	m.slo.Record(info.Total, err != nil)
+	if m.shapes.Enabled() {
+		m.shapes.Observe(q.Shape(), info.Total, info.CacheHit, err != nil,
+			int64(info.DeltaComp/time.Microsecond), info.DeltaTuples)
+	}
+}
+
+// SLO returns the manager's SLO tracker; nil when disabled.
+func (m *Manager) SLO() *obs.SLO { return m.slo }
+
+// Shapes returns the per-shape profile table; nil when disabled.
+func (m *Manager) Shapes() *obs.Shapes { return m.shapes }
+
+// QueryWindow and CompWindow return the always-on rolling latency windows
+// over full executions and delta compensation — the governor's windowed
+// cost signals.
+func (m *Manager) QueryWindow() *obs.Window { return m.obs.queryWin }
+func (m *Manager) CompWindow() *obs.Window  { return m.obs.compWin }
+
+// InflightQueries reports the current number of executions in flight.
+func (m *Manager) InflightQueries() int64 { return m.obs.inflight.Value() }
+
+// RotateWindows advances every rolling view one slot — the latency
+// windows, the SLO tracker, and each shape's window. Driven on a fixed
+// cadence by the governor (or a test clock); slot count × cadence is the
+// rolling span.
+func (m *Manager) RotateWindows() {
+	m.obs.queryWin.Rotate()
+	m.obs.compWin.Rotate()
+	m.slo.Rotate()
+	m.shapes.Rotate()
 }
 
 // deltaCompensate unions the subjoins that involve at least one delta store

@@ -60,6 +60,17 @@ type managerObs struct {
 	// Latency distributions.
 	queryLat     *obs.Histogram // latency.query — full Execute wall clock
 	deltaCompLat *obs.Histogram // latency.delta_comp — delta compensation only
+
+	// Rolling windows over the same two distributions (windowed p50/p95/p99
+	// rather than since-process-start), rotated by Manager.RotateWindows;
+	// always on — Observe is the same atomics as a Histogram.
+	queryWin *obs.Window
+	compWin  *obs.Window
+
+	// inflight tracks executions currently inside Execute/ExecuteRows/
+	// ExplainAnalyze — the queue-depth half of the governor's overload
+	// signal.
+	inflight *obs.Gauge // exec.inflight
 }
 
 func newManagerObs(reg *obs.Registry) *managerObs {
@@ -100,6 +111,9 @@ func newManagerObs(reg *obs.Registry) *managerObs {
 		evictMinProfit:   reg.Counter("cache.evictions_min_profit"),
 		queryLat:         reg.Histogram("latency.query"),
 		deltaCompLat:     reg.Histogram("latency.delta_comp"),
+		queryWin:         obs.NewWindow(obs.DefaultWindowSlots),
+		compWin:          obs.NewWindow(obs.DefaultWindowSlots),
+		inflight:         reg.Gauge("exec.inflight"),
 	}
 }
 
@@ -122,6 +136,7 @@ func (o *managerObs) recordExec(info *ExecInfo) {
 	o.mainCompRows.Add(int64(info.MainCompensated))
 	o.recordStats(&info.Stats)
 	o.queryLat.Observe(info.Total)
+	o.queryWin.Observe(info.Total)
 }
 
 // recordStats folds a subjoin counter batch into the registry.

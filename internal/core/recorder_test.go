@@ -90,7 +90,11 @@ func TestDebugMuxUnderConcurrentQueryLoad(t *testing.T) {
 
 	sampler := obs.NewSampler(reg, obs.SamplerConfig{Interval: time.Hour, Capacity: 8})
 	sampler.SampleOnce()
-	srv := httptest.NewServer(obs.DebugMux(reg, func() any { return e.mgr.EntriesByProfit() }, sampler, rec, nil))
+	srv := httptest.NewServer(obs.DebugMux(reg, obs.DebugOptions{
+		CacheDump: func() any { return e.mgr.EntriesByProfit() },
+		Sampler:   sampler,
+		Recorder:  rec,
+	}))
 	defer srv.Close()
 
 	const iterations = 30

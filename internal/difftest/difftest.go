@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"aggcache/internal/advisor"
 	"aggcache/internal/column"
@@ -90,6 +91,12 @@ type Config struct {
 	// paired run with and without merges must produce byte-identical
 	// check outputs (merges are pure reorganizations).
 	DisableMerges bool
+	// Govern attaches a maintenance governor driven by a synthetic clock:
+	// one deterministic Tick after every applied op (no background
+	// goroutine), delta-rows trigger only, aging off. Governor-initiated
+	// merges are physical reorganizations of the shared database, so the
+	// worker-count ledger identity must survive them.
+	Govern bool
 }
 
 // SmallERP is the default laptop-second scale schema for differential runs.
@@ -166,6 +173,11 @@ type Runner struct {
 	led1, led4 *obs.Ledger
 	objs       []object
 	staged     map[stagedKey]*table.OnlineMerge
+	// gov ticks on a synthetic clock when cfg.Govern is set; govClock is
+	// the fake "now" advanced a fixed step per op, so governor decisions
+	// are a pure function of the op sequence.
+	gov      *core.Governor
+	govClock time.Time
 	// Outputs collects the rendered result of every query check, in
 	// order — the unit of cross-run comparison.
 	Outputs []string
@@ -200,6 +212,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 		led4:   led4,
 		staged: make(map[stagedKey]*table.OnlineMerge),
 		cfg:    cfg,
+	}
+	if cfg.Govern {
+		// Delta-rows trigger only: growth, compensation-p99, and SLO burn
+		// depend on wall-clock timings and would make decisions
+		// non-deterministic. The synthetic clock steps 100ms per op, so the
+		// 300ms cooldown allows an action every few ops at most.
+		r.gov = core.NewGovernor(r.m1, core.GovernorConfig{
+			Tables:        []string{workload.THeader, workload.TItem},
+			DeltaRowsHigh: 24,
+			Cooldown:      300 * time.Millisecond,
+			Rotate:        500 * time.Millisecond,
+		})
+		r.govClock = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
 	// Reconstruct the bulk-loaded objects: header ids and item ids are
 	// assigned sequentially by the loader.
@@ -239,6 +264,12 @@ func (r *Runner) Run(ops []Op) error {
 	for i, op := range ops {
 		if err := r.apply(op); err != nil {
 			return fmt.Errorf("op %d (%s): %w", i, op.Kind, err)
+		}
+		if r.gov != nil {
+			// One synchronous tick per op on the synthetic clock: governor
+			// merges land at op boundaries, never concurrent with a check.
+			r.govClock = r.govClock.Add(100 * time.Millisecond)
+			r.gov.Tick(r.govClock)
 		}
 	}
 	// Close any merge the sequence left open, then do a final sweep of

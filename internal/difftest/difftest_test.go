@@ -70,6 +70,35 @@ func TestDifferentialHotCold(t *testing.T) {
 	}
 }
 
+// TestDifferentialGoverned runs seeded sequences with the maintenance
+// governor attached on a synthetic clock: governor-initiated merges are
+// physical reorganizations, so every check must still match the oracle and
+// the decision ledgers must stay byte-identical across worker counts
+// (which Runner.Run asserts). Across the seeds the governor must have
+// actually merged at least once, or the mode tested nothing.
+func TestDifferentialGoverned(t *testing.T) {
+	seeds := seedCount(4)
+	var merges int64
+	for s := 0; s < seeds; s++ {
+		seed := int64(4000 + s)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := Config{ERP: SmallERP(seed), Ops: 60, Govern: true}
+			ops := Generate(seed, cfg.Ops)
+			r, err := NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(ops); err != nil {
+				reportFailure(t, cfg, seed, ops, err)
+			}
+			merges += r.gov.Snapshot().Merges
+		})
+	}
+	if merges == 0 {
+		t.Fatal("governor never merged across any seed; thresholds too loose to exercise the mode")
+	}
+}
+
 // TestMergesAreTransparent runs the same seeded sequence twice — once with
 // every merge/age op disabled, once live — and asserts the rendered output
 // of every query check is byte-identical: merges and aging are pure

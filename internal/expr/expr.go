@@ -433,3 +433,34 @@ func joinPreds(ps []Pred, sep string) string {
 	}
 	return strings.Join(parts, sep)
 }
+
+// Shape renders the predicate's structural shape: the same tree as String
+// with every literal elided to "?", so predicates differing only in their
+// constants render identically. This is the predicate component of the
+// normalized query-shape fingerprint the per-shape profiler keys on.
+func Shape(p Pred) string {
+	switch v := p.(type) {
+	case True:
+		return "true"
+	case Cmp:
+		return v.Col + " " + v.Op.String() + " ?"
+	case And:
+		return joinShapes(v.Preds, " and ")
+	case Or:
+		return joinShapes(v.Preds, " or ")
+	case Not:
+		return "not (" + Shape(v.P) + ")"
+	default:
+		// Unknown predicate kinds fall back to their full rendering —
+		// wrong for shape dedup but never lossy.
+		return p.String()
+	}
+}
+
+func joinShapes(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + Shape(p) + ")"
+	}
+	return strings.Join(parts, sep)
+}

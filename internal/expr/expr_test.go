@@ -156,6 +156,38 @@ func TestStrings(t *testing.T) {
 	}
 }
 
+// TestShapeElidesLiterals: Shape renders the predicate tree with every
+// constant replaced by "?", so predicates differing only in literals
+// produce identical shapes — the dedup property the per-shape profiler
+// keys on.
+func TestShapeElidesLiterals(t *testing.T) {
+	p2012 := NewAnd(
+		Cmp{Col: "year", Op: Ge, Val: column.IntV(2012)},
+		Not{P: Cmp{Col: "lang", Op: Eq, Val: column.StrV("ENG")}},
+	)
+	p2013 := NewAnd(
+		Cmp{Col: "year", Op: Ge, Val: column.IntV(2013)},
+		Not{P: Cmp{Col: "lang", Op: Eq, Val: column.StrV("GER")}},
+	)
+	want := "(year >= ?) and (not (lang = ?))"
+	if got := Shape(p2012); got != want {
+		t.Fatalf("Shape = %q, want %q", got, want)
+	}
+	if Shape(p2012) != Shape(p2013) {
+		t.Fatalf("shapes differ for literal-only variation:\n%q\n%q", Shape(p2012), Shape(p2013))
+	}
+	if got := Shape(True{}); got != "true" {
+		t.Fatalf("Shape(True) = %q", got)
+	}
+	or := Or{Preds: []Pred{
+		Cmp{Col: "a", Op: Lt, Val: column.IntV(1)},
+		Cmp{Col: "b", Op: Ne, Val: column.IntV(2)},
+	}}
+	if got := Shape(or); got != "(a < ?) or (b <> ?)" {
+		t.Fatalf("Shape(or) = %q", got)
+	}
+}
+
 // Property: the int64 fast path agrees with generic Value comparison for
 // every operator.
 func TestQuickIntFastPathAgrees(t *testing.T) {

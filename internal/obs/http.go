@@ -9,13 +9,44 @@ import (
 	"strconv"
 )
 
+// DebugOptions wires the optional data sources behind the debug mux. Every
+// field may be nil/zero; each endpoint documents its disabled behavior.
+// The struct (rather than positional parameters) lets callers wire only
+// the surfaces they actually run.
+type DebugOptions struct {
+	// CacheDump produces the /debug/cache payload (entry metrics by
+	// profit); nil reports an empty list.
+	CacheDump func() any
+	// Sampler feeds /debug/series; nil reports an empty object.
+	Sampler *Sampler
+	// Recorder feeds /debug/traces; nil lists nothing and every fetch is
+	// a 404.
+	Recorder *Recorder
+	// Advisor runs the shadow-cache analysis on demand and returns the
+	// report value for JSON plus its rendered text — a func so obs does
+	// not depend on the advisor package. Nil makes /debug/advisor a 404.
+	Advisor func() (report any, text string)
+	// SLO feeds /debug/slo; nil (together with a nil Governor) makes it a
+	// 404.
+	SLO *SLO
+	// Governor returns the maintenance governor's snapshot, merged into
+	// the /debug/slo payload; nil omits the governor section. A func so
+	// obs does not depend on core.
+	Governor func() any
+	// Shapes feeds /debug/shapes; nil makes it a 404.
+	Shapes *Shapes
+}
+
 // DebugMux builds the debug HTTP surface:
 //
 //	/metrics            JSON snapshot of the registry
 //	/metrics?format=prom  the same snapshot in Prometheus text format
 //	/debug/series       sampler ring buffers as JSON (time series per metric)
-//	/debug/cache        JSON dump produced by cacheDump (entry metrics by profit)
-//	/debug/advisor      shadow-cache what-if report as JSON (advisorSource)
+//	/debug/series?last=N  the same, trimmed to each series' newest N points
+//	/debug/cache        JSON dump produced by CacheDump (entry metrics by profit)
+//	/debug/slo          SLO report (burn rates, budget) + governor snapshot
+//	/debug/shapes       per-query-shape profiles, busiest first
+//	/debug/advisor      shadow-cache what-if report as JSON (Advisor)
 //	/debug/advisor?format=text
 //	                    the same report rendered as aligned text
 //	/debug/traces       flight-recorder listing (trace summaries, newest first)
@@ -25,19 +56,11 @@ import (
 //	                    ui.perfetto.dev or chrome://tracing
 //	/debug/pprof/...    standard net/http/pprof profiles
 //
-// cacheDump may be nil, in which case /debug/cache reports an empty list;
-// sampler may be nil, in which case /debug/series reports an empty object;
-// rec may be nil (flight recording disabled), in which case /debug/traces
-// lists nothing and every fetch is a 404; advisorSource may be nil (no
-// decision ledger), in which case /debug/advisor is a 404. advisorSource
-// runs the shadow-cache analysis on demand and returns the report value for
-// JSON plus its rendered text — a func so obs does not depend on the
-// advisor package.
 // Every introspection handler is GET-only (405 otherwise) and marked
 // Cache-Control: no-store — the payloads are live state, never cacheable.
 // The mux is plain net/http so the binaries start it with one goroutine
 // and no dependencies.
-func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder, advisorSource func() (report any, text string)) *http.ServeMux {
+func DebugMux(reg *Registry, opts DebugOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -67,25 +90,59 @@ func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Record
 		writeJSON(w, reg.Snapshot())
 	})
 	handle("/debug/series", func(w http.ResponseWriter, r *http.Request) {
-		if sampler == nil {
+		if opts.Sampler == nil {
 			writeJSON(w, map[string][]Sample{})
 			return
 		}
-		writeJSON(w, sampler.Dump())
+		dump := opts.Sampler.Dump()
+		if lastStr := r.URL.Query().Get("last"); lastStr != "" {
+			last, err := strconv.Atoi(lastStr)
+			if err != nil || last < 1 {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			for name, samples := range dump {
+				if len(samples) > last {
+					dump[name] = samples[len(samples)-last:]
+				}
+			}
+		}
+		writeJSON(w, dump)
 	})
 	handle("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
-		if cacheDump == nil {
+		if opts.CacheDump == nil {
 			writeJSON(w, []any{})
 			return
 		}
-		writeJSON(w, emptyAsList(cacheDump()))
+		writeJSON(w, emptyAsList(opts.CacheDump()))
+	})
+	handle("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if opts.SLO == nil && opts.Governor == nil {
+			http.Error(w, "no SLO tracker", http.StatusNotFound)
+			return
+		}
+		payload := struct {
+			SLO      SLOReport `json:"slo"`
+			Governor any       `json:"governor,omitempty"`
+		}{SLO: opts.SLO.Report()}
+		if opts.Governor != nil {
+			payload.Governor = opts.Governor()
+		}
+		writeJSON(w, payload)
+	})
+	handle("/debug/shapes", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Shapes == nil {
+			http.Error(w, "no shape profiler", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, emptyAsList(opts.Shapes.Profiles()))
 	})
 	handle("/debug/advisor", func(w http.ResponseWriter, r *http.Request) {
-		if advisorSource == nil {
+		if opts.Advisor == nil {
 			http.Error(w, "no decision ledger", http.StatusNotFound)
 			return
 		}
-		report, text := advisorSource()
+		report, text := opts.Advisor()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_, _ = w.Write([]byte(text))
@@ -94,6 +151,7 @@ func DebugMux(reg *Registry, cacheDump func() any, sampler *Sampler, rec *Record
 		writeJSON(w, report)
 	})
 	handle("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		rec := opts.Recorder
 		idStr := r.URL.Query().Get("id")
 		if idStr == "" {
 			list := rec.List()
@@ -148,12 +206,12 @@ func emptyAsList(v any) any {
 // ServeDebug listens on addr and serves the debug mux in a background
 // goroutine. It returns the bound address (useful with a ":0" addr) or an
 // error if the listener cannot be opened.
-func ServeDebug(addr string, reg *Registry, cacheDump func() any, sampler *Sampler, rec *Recorder, advisorSource func() (report any, text string)) (string, error) {
+func ServeDebug(addr string, reg *Registry, opts DebugOptions) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: DebugMux(reg, cacheDump, sampler, rec, advisorSource)}
+	srv := &http.Server{Handler: DebugMux(reg, opts)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

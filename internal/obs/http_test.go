@@ -27,7 +27,20 @@ func TestServeDebugEndToEnd(t *testing.T) {
 	advisorSource := func() (any, string) {
 		return map[string]int{"decisions": 3}, "== cache advisor ==\n"
 	}
-	addr, err := ServeDebug("127.0.0.1:0", r, func() any { return dumpResult }, sampler, rec, advisorSource)
+	slo := NewSLO(SLOConfig{Target: time.Millisecond, Slots: 8, ShortSlots: 2})
+	slo.Record(100*time.Microsecond, false)
+	slo.Record(5*time.Millisecond, false)
+	shapes := NewShapes(8, 4)
+	shapes.Observe("T[A]P[A:x = ?]", 300*time.Microsecond, true, false, 40, 7)
+	addr, err := ServeDebug("127.0.0.1:0", r, DebugOptions{
+		CacheDump: func() any { return dumpResult },
+		Sampler:   sampler,
+		Recorder:  rec,
+		Advisor:   advisorSource,
+		SLO:       slo,
+		Governor:  func() any { return map[string]int{"merges": 2} },
+		Shapes:    shapes,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,6 +97,52 @@ func TestServeDebugEndToEnd(t *testing.T) {
 	}
 	if len(series["cache.hits"]) != 1 || series["cache.hits"][0].Value != 5 {
 		t.Fatalf("/debug/series cache.hits = %v", series["cache.hits"])
+	}
+
+	// /debug/series?last=N trims each series to its newest N points.
+	sampler.SampleOnce()
+	sampler.SampleOnce()
+	_, body = get("/debug/series?last=1")
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/debug/series?last=1 is not a series map: %v", err)
+	}
+	if len(series["cache.hits"]) != 1 {
+		t.Fatalf("/debug/series?last=1 cache.hits has %d points, want 1", len(series["cache.hits"]))
+	}
+	if resp, _ := get("/debug/series?last=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/debug/series?last=0 status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get("/debug/series?last=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/debug/series?last=bogus status = %d, want 400", resp.StatusCode)
+	}
+
+	// /debug/slo carries the SLO report plus the governor snapshot.
+	resp, body = get("/debug/slo")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/slo status = %d", resp.StatusCode)
+	}
+	var sloPayload struct {
+		SLO      SLOReport      `json:"slo"`
+		Governor map[string]int `json:"governor"`
+	}
+	if err := json.Unmarshal([]byte(body), &sloPayload); err != nil {
+		t.Fatalf("/debug/slo payload: %v", err)
+	}
+	if sloPayload.SLO.LongTotal != 2 || sloPayload.SLO.LongBad != 1 {
+		t.Fatalf("/debug/slo report = %+v", sloPayload.SLO)
+	}
+	if sloPayload.Governor["merges"] != 2 {
+		t.Fatalf("/debug/slo governor = %v", sloPayload.Governor)
+	}
+
+	// /debug/shapes lists the per-shape profiles.
+	_, body = get("/debug/shapes")
+	var profs []ShapeProfile
+	if err := json.Unmarshal([]byte(body), &profs); err != nil {
+		t.Fatalf("/debug/shapes payload: %v", err)
+	}
+	if len(profs) != 1 || profs[0].Shape != "T[A]P[A:x = ?]" || profs[0].Hits != 1 {
+		t.Fatalf("/debug/shapes = %+v", profs)
 	}
 
 	// /debug/cache must render an empty cache as [], never null.
@@ -166,17 +225,21 @@ func TestServeDebugEndToEnd(t *testing.T) {
 }
 
 func TestDebugMuxNilSamplerAndDump(t *testing.T) {
-	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil, nil, nil)
+	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), DebugOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// No decision ledger: the advisor endpoint does not exist.
-	if resp, err := http.Get("http://" + addr + "/debug/advisor"); err != nil {
-		t.Fatal(err)
-	} else {
+	// Sources that are absent 404: the advisor without a decision ledger,
+	// the SLO surface without a tracker, the shapes surface without a
+	// profiler.
+	for _, path := range []string{"/debug/advisor", "/debug/slo", "/debug/shapes"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
-			t.Fatalf("/debug/advisor without ledger = %d, want 404", resp.StatusCode)
+			t.Fatalf("%s without a source = %d, want 404", path, resp.StatusCode)
 		}
 	}
 	for path, want := range map[string]string{

@@ -91,6 +91,10 @@ type Decision struct {
 	Kind DecisionKind `json:"kind"`
 	// Key is the cache key (query fingerprint) the decision concerns.
 	Key string `json:"key,omitempty"`
+	// Shape is the normalized query-shape fingerprint (literals elided) of
+	// the query behind the decision — the per-shape profiler's key. Empty
+	// for decisions with no originating query.
+	Shape string `json:"shape,omitempty"`
 	// Reason qualifies reject/evict/invalidate decisions (eviction reason,
 	// rejection cause, invalidation cause).
 	Reason string `json:"reason,omitempty"`
@@ -147,6 +151,8 @@ func (d *Decision) AppendCanon(b []byte) []byte {
 	b = append(b, d.Kind.String()...)
 	b = append(b, " key="...)
 	b = append(b, d.Key...)
+	b = append(b, " shape="...)
+	b = append(b, d.Shape...)
 	b = append(b, " reason="...)
 	b = append(b, d.Reason...)
 	b = append(b, " strategy="...)

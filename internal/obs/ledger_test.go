@@ -112,7 +112,7 @@ func TestDecisionKindText(t *testing.T) {
 // byte-identically.
 func TestCanonLedgerDeterministic(t *testing.T) {
 	base := Decision{
-		Kind: DecisionEvict, Key: "q:orders", Reason: "capacity", Strategy: "",
+		Kind: DecisionEvict, Key: "q:orders", Shape: "s:orders", Reason: "capacity", Strategy: "",
 		Hits: 7, SizeBytes: 4096, MainRows: 1200, DeltaRows: 34, Rows: 0,
 		CacheBytes: 8192, CacheEntries: 2,
 	}
@@ -131,7 +131,7 @@ func TestCanonLedgerDeterministic(t *testing.T) {
 	if c1 != c2 {
 		t.Fatalf("canon differs on wall-clock-only changes:\n%s\nvs\n%s", c1, c2)
 	}
-	want := "seq=1 kind=evict key=q:orders reason=capacity strategy= hits=7 size=4096 main_rows=1200 delta_rows=34 rows=0 cache_bytes=8192 cache_entries=2\n"
+	want := "seq=1 kind=evict key=q:orders shape=s:orders reason=capacity strategy= hits=7 size=4096 main_rows=1200 delta_rows=34 rows=0 cache_bytes=8192 cache_entries=2\n"
 	if c1 != want {
 		t.Fatalf("canon = %q, want %q", c1, want)
 	}

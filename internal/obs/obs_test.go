@@ -223,7 +223,7 @@ func TestDebugEndpoint(t *testing.T) {
 	dump := func() any {
 		return []map[string]any{{"key": "q1", "profit": 1.5}}
 	}
-	addr, err := ServeDebug("127.0.0.1:0", r, dump, nil, nil, nil)
+	addr, err := ServeDebug("127.0.0.1:0", r, DebugOptions{CacheDump: dump})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	if s.Enabled() {
+		t.Fatal("nil SLO enabled")
+	}
+	s.Record(time.Second, false)
+	s.Rotate()
+	if s.Target() != 0 {
+		t.Fatal("nil SLO has a target")
+	}
+	if r := s.Report(); r.LongTotal != 0 {
+		t.Fatalf("nil SLO report = %+v", r)
+	}
+}
+
+// TestSLOClassification: at-target is good, over-target and failures burn
+// budget regardless of latency.
+func TestSLOClassification(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 10 * time.Millisecond, Objective: 0.9, Slots: 10, ShortSlots: 2})
+	s.Record(10*time.Millisecond, false) // exactly at target: good
+	s.Record(5*time.Millisecond, false)  // under: good
+	s.Record(11*time.Millisecond, false) // over: bad
+	s.Record(time.Millisecond, true)     // fast but failed: bad
+
+	r := s.Report()
+	if r.LongTotal != 4 || r.LongBad != 2 {
+		t.Fatalf("long = %d total / %d bad, want 4/2", r.LongTotal, r.LongBad)
+	}
+	if r.LongGoodFrac != 0.5 {
+		t.Fatalf("good frac = %g, want 0.5", r.LongGoodFrac)
+	}
+	// Bad fraction 0.5 against a 0.1 budget: burning 5x (within float noise).
+	if r.BurnLong < 4.999 || r.BurnLong > 5.001 {
+		t.Fatalf("burn = %g, want ~5", r.BurnLong)
+	}
+	if r.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %g, want clamped to 0", r.BudgetRemaining)
+	}
+}
+
+// TestSLOShortVsLongWindow: the short window only sees the most recent
+// slots, so an old incident ages out of BurnShort while still weighing on
+// BurnLong.
+func TestSLOShortVsLongWindow(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: time.Millisecond, Objective: 0.99, Slots: 10, ShortSlots: 2})
+	// Incident: bad records in the current slot.
+	for i := 0; i < 8; i++ {
+		s.Record(time.Second, false)
+	}
+	r := s.Report()
+	if r.ShortBad != 8 || r.BurnShort <= 1 {
+		t.Fatalf("during incident: short bad = %d burn = %g", r.ShortBad, r.BurnShort)
+	}
+	// Rotate the incident out of the short window, then serve well.
+	s.Rotate()
+	s.Rotate()
+	for i := 0; i < 8; i++ {
+		s.Record(time.Microsecond, false)
+	}
+	r = s.Report()
+	if r.ShortBad != 0 || r.BurnShort != 0 {
+		t.Fatalf("after recovery: short bad = %d burn = %g, want 0", r.ShortBad, r.BurnShort)
+	}
+	if r.LongBad != 8 || r.BurnLong <= 1 {
+		t.Fatalf("long window lost the incident: bad = %d burn = %g", r.LongBad, r.BurnLong)
+	}
+}
+
+// TestSLOEmptyWindowMeetsObjective: an idle service is meeting its SLO.
+func TestSLOEmptyWindowMeetsObjective(t *testing.T) {
+	r := NewSLO(SLOConfig{}).Report()
+	if r.LongGoodFrac != 1 || r.ShortGoodFrac != 1 || r.BurnLong != 0 {
+		t.Fatalf("idle report = %+v", r)
+	}
+	if r.BudgetRemaining != 1 {
+		t.Fatalf("idle budget remaining = %g, want 1", r.BudgetRemaining)
+	}
+}
+
+func TestSLODefaultsAndClamps(t *testing.T) {
+	s := NewSLO(SLOConfig{})
+	if s.Target() != DefaultSLOTarget {
+		t.Fatalf("target = %v", s.Target())
+	}
+	r := s.Report()
+	if r.Objective != DefaultSLOObjective || r.WindowSlots != DefaultSLOSlots || r.ShortSlots != DefaultSLOShortSlots {
+		t.Fatalf("defaults = %+v", r)
+	}
+	// ShortSlots may not exceed Slots.
+	s = NewSLO(SLOConfig{Slots: 4, ShortSlots: 99})
+	if r := s.Report(); r.ShortSlots > r.WindowSlots {
+		t.Fatalf("short %d > long %d", r.ShortSlots, r.WindowSlots)
+	}
+}
+
+func TestSLOReportRender(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: time.Millisecond, Objective: 0.95, Slots: 4, ShortSlots: 2})
+	s.Record(time.Microsecond, false)
+	s.Record(time.Second, false)
+	var buf bytes.Buffer
+	s.Report().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"95.00%", "long window", "short window", "error budget"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

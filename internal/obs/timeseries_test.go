@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -96,6 +98,40 @@ func TestSamplerStartStop(t *testing.T) {
 	for len(s.Dump()["c"]) == n {
 		if time.Now().After(deadline) {
 			t.Fatal("restarted sampler collected nothing within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSamplerConcurrentStop hammers Stop from many goroutines at once
+// (run under -race in CI): exactly one caller closes the stop channel, the
+// rest are no-ops, and no scrape goroutine survives — repeated
+// start/stop cycles must leave the goroutine count where it began.
+func TestSamplerConcurrentStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	for cycle := 0; cycle < 10; cycle++ {
+		s := NewSampler(r, SamplerConfig{Interval: time.Millisecond, Capacity: 8})
+		s.Start()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Stop()
+			}()
+		}
+		wg.Wait()
+		s.Stop() // double Stop after the race settles: still a no-op
+	}
+	// The loop goroutine exits before Stop returns (<-done), so any excess
+	// here is a leak, not scheduling lag — but allow a short settle for
+	// unrelated runtime goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after 10 start/stop cycles", before, runtime.NumGoroutine())
 		}
 		time.Sleep(time.Millisecond)
 	}

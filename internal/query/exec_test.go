@@ -2,6 +2,7 @@ package query
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -173,6 +174,39 @@ func TestFingerprint(t *testing.T) {
 	// Memoization: repeated calls return the identical string.
 	if a.Fingerprint() != a.Fingerprint() {
 		t.Fatal("fingerprint not stable")
+	}
+}
+
+// TestShapeNormalizesConstants: queries differing only in filter literals
+// share one shape (the per-shape profiler key) while their fingerprints
+// (the cache key) stay distinct, and structural changes still split shapes.
+func TestShapeNormalizesConstants(t *testing.T) {
+	a := listing1()
+	b := listing1()
+	b.Filters["Header"] = expr.Cmp{Col: "FiscalYear", Op: expr.Eq, Val: column.IntV(2014)}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("literal change must split fingerprints")
+	}
+	if a.Shape() != b.Shape() {
+		t.Fatalf("literal-only variants must share a shape:\n%s\n%s", a.Shape(), b.Shape())
+	}
+	if !strings.Contains(a.Shape(), "?") || strings.Contains(a.Shape(), "2013") {
+		t.Fatalf("shape leaks literals: %s", a.Shape())
+	}
+	// Structural variation — a different grouping — splits shapes.
+	c := listing1()
+	c.GroupBy = nil
+	if a.Shape() == c.Shape() {
+		t.Fatal("different grouping shares a shape")
+	}
+	// A filter on a different column splits shapes even at the same value.
+	d := listing1()
+	d.Filters["Item"] = expr.Cmp{Col: "Price", Op: expr.Gt, Val: column.IntV(0)}
+	if a.Shape() == d.Shape() {
+		t.Fatal("extra filter column shares a shape")
+	}
+	if a.Shape() != a.Shape() {
+		t.Fatal("shape not stable")
 	}
 }
 

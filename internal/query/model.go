@@ -104,9 +104,10 @@ type Query struct {
 	GroupBy []ColRef
 	Aggs    []AggSpec
 
-	// fp memoizes Fingerprint; a query definition must not be mutated
-	// after its first execution.
-	fp string
+	// fp/shape memoize Fingerprint and Shape; a query definition must not
+	// be mutated after its first execution.
+	fp    string
+	shape string
 }
 
 // Validate checks the query against the database schema: tables exist, join
@@ -219,7 +220,9 @@ func (q *Query) SelfMaintainable() bool {
 // Fingerprint renders a canonical identifier of the query definition —
 // tables, joins, filters, grouping combination, and aggregates — which the
 // aggregate cache uses as its cache key (paper Fig. 2). The result is
-// memoized; do not mutate a query after executing it.
+// memoized; do not mutate a query after executing it, and call this (and
+// Shape) once before sharing a Query across goroutines — the first call
+// writes the memo.
 func (q *Query) Fingerprint() string {
 	if q.fp != "" {
 		return q.fp
@@ -265,4 +268,58 @@ func (q *Query) Fingerprint() string {
 	sb.WriteByte(']')
 	q.fp = sb.String()
 	return q.fp
+}
+
+// Shape renders the query's normalized shape fingerprint: the same layout
+// as Fingerprint, but with every filter literal elided to "?" (the P[...]
+// section replaces F[...]), so queries differing only in their constants —
+// ProfitQuery(2012) vs ProfitQuery(2013) — share one shape. This is the
+// key of the per-shape profile table (obs.Shapes) and is stamped into
+// spans, the decision ledger, and EXPLAIN ANALYZE. Memoized like
+// Fingerprint, with the same sharing rule: warm it before concurrent use.
+func (q *Query) Shape() string {
+	if q.shape != "" {
+		return q.shape
+	}
+	var sb strings.Builder
+	sb.WriteString("T[")
+	sb.WriteString(strings.Join(q.Tables, ","))
+	sb.WriteString("]J[")
+	for i, j := range q.Joins {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(j.String())
+	}
+	sb.WriteString("]P[")
+	names := make([]string, 0, len(q.Filters))
+	for n := range q.Filters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(n)
+		sb.WriteByte(':')
+		sb.WriteString(expr.Shape(q.Filters[n]))
+	}
+	sb.WriteString("]G[")
+	for i, g := range q.GroupBy {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(g.String())
+	}
+	sb.WriteString("]A[")
+	for i, a := range q.Aggs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(']')
+	q.shape = sb.String()
+	return q.shape
 }
