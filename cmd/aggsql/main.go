@@ -17,6 +17,9 @@
 //	\insert <n>          insert n business objects / orders into the deltas
 //	\merge               synchronized delta merge of the transactional tables
 //	\cache               show aggregate cache entries sorted by profit
+//	\recycler            show the second-level recycler cache (-recycle):
+//	                     subjoin partials with hit/top-up tallies and cached
+//	                     join build tables
 //	\advisor             replay the decision ledger through the shadow-cache
 //	                     simulator and print the what-if report (capacity and
 //	                     admission-threshold sweeps, eviction policies, tenant
@@ -50,11 +53,18 @@
 // -min-profit bound the cache so eviction and admission decisions actually
 // happen.
 //
+// With -recycle the manager runs a second-level recycler cache: subjoin
+// intermediates admitted during delta compensation are reused across
+// queries (exact hits and watermark top-ups), and build-side join hash
+// tables are shared. \recycler and /debug/recycler show its contents;
+// EXPLAIN ANALYZE shows the per-subjoin recycler verdicts.
+//
 // With -debug <addr> the shell serves the observability debug endpoint:
 // /metrics (registry snapshot as JSON), /debug/cache (cache configuration,
-// eviction reasons, and entry metrics sorted by profit), /debug/advisor
-// (the shadow-cache what-if report), /debug/slo (the windowed SLO report and
-// governor snapshot), and /debug/shapes (the per-query-shape profiles).
+// eviction reasons, and entry metrics sorted by profit), /debug/recycler
+// (the recycler cache snapshot), /debug/advisor (the shadow-cache what-if
+// report), /debug/slo (the windowed SLO report and governor snapshot), and
+// /debug/shapes (the per-query-shape profiles).
 //
 // With -govern the metrics-driven maintenance governor runs in the
 // background: it watches delta growth, windowed compensation cost, and SLO
@@ -75,6 +85,7 @@ import (
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
+	"aggcache/internal/recycler"
 	"aggcache/internal/sql"
 	"aggcache/internal/table"
 	"aggcache/internal/workload"
@@ -114,21 +125,23 @@ func (sh *shell) advisorReport() *advisor.Report {
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "erp", "erp or ch")
-		stmt      = flag.String("c", "", "execute one statement and exit")
-		debugAddr = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache, /debug/series, /debug/pprof) on this address")
-		sample    = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
-		events    = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
-		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
-		traces    = flag.Int("traces", obs.DefaultTraceCapacity, "flight-recorder ring size (last n query traces retained for \\traces); 0 disables recording")
-		slow      = flag.Duration("slow", 100*time.Millisecond, "retain traces at or above this latency in the slow-query log even after the ring cycles; 0 disables the slow log")
-		online    = flag.Bool("online-merge", false, "run \\merge as a non-blocking online delta merge instead of the offline critical-section merge")
-		ledger    = flag.Int("ledger", obs.DefaultLedgerCapacity, "decision-ledger ring size (last n cache decisions retained for \\advisor and /debug/advisor); 0 disables the ledger")
-		capacity  = flag.Uint64("capacity", 0, "cache capacity in bytes (0 = unlimited); evictions feed the ledger and the advisor")
-		minProfit = flag.Float64("min-profit", 0, "cache admission threshold on entry profit (0 admits every self-maintainable query)")
-		govern    = flag.Bool("govern", false, "run the metrics-driven maintenance governor (background online merges with hysteresis and cooldown)")
-		sloTarget = flag.Duration("slo-target", obs.DefaultSLOTarget, "per-query latency target for the SLO tracker (\\slo, /debug/slo)")
-		sloObj    = flag.Float64("slo-objective", obs.DefaultSLOObjective, "fraction of queries that must meet the SLO target")
+		dataset    = flag.String("dataset", "erp", "erp or ch")
+		stmt       = flag.String("c", "", "execute one statement and exit")
+		debugAddr  = flag.String("debug", "", "serve the observability debug endpoint (/metrics, /debug/cache, /debug/series, /debug/pprof) on this address")
+		sample     = flag.Duration("sample", obs.DefaultSampleInterval, "time-series scrape interval for /debug/series (with -debug)")
+		events     = flag.String("events", "", "write structured lifecycle events (JSON lines) to this file; \"-\" for stderr")
+		workers    = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
+		traces     = flag.Int("traces", obs.DefaultTraceCapacity, "flight-recorder ring size (last n query traces retained for \\traces); 0 disables recording")
+		slow       = flag.Duration("slow", 100*time.Millisecond, "retain traces at or above this latency in the slow-query log even after the ring cycles; 0 disables the slow log")
+		online     = flag.Bool("online-merge", false, "run \\merge as a non-blocking online delta merge instead of the offline critical-section merge")
+		ledger     = flag.Int("ledger", obs.DefaultLedgerCapacity, "decision-ledger ring size (last n cache decisions retained for \\advisor and /debug/advisor); 0 disables the ledger")
+		capacity   = flag.Uint64("capacity", 0, "cache capacity in bytes (0 = unlimited); evictions feed the ledger and the advisor")
+		minProfit  = flag.Float64("min-profit", 0, "cache admission threshold on entry profit (0 admits every self-maintainable query)")
+		govern     = flag.Bool("govern", false, "run the metrics-driven maintenance governor (background online merges with hysteresis and cooldown)")
+		recycle    = flag.Bool("recycle", false, "run the second-level recycler cache: cross-query reuse of subjoin intermediates (exact hits and watermark top-ups) and join build tables; \\recycler and /debug/recycler show its contents")
+		recycleCap = flag.Uint64("recycle-capacity", 0, "recycler capacity in bytes for subjoin partials, and again for build tables (0 = unlimited); lowest-profit entries are evicted first")
+		sloTarget  = flag.Duration("slo-target", obs.DefaultSLOTarget, "per-query latency target for the SLO tracker (\\slo, /debug/slo)")
+		sloObj     = flag.Float64("slo-objective", obs.DefaultSLOObjective, "fraction of queries that must meet the SLO target")
 	)
 	flag.Parse()
 
@@ -158,10 +171,19 @@ func main() {
 		led = obs.NewLedger(*ledger)
 	}
 
+	var rc *recycler.Cache
+	if *recycle {
+		rc = recycler.New(recycler.Config{
+			CapacityBytes:      *recycleCap,
+			BuildCapacityBytes: *recycleCap,
+		})
+	}
+
 	sh, err := load(*dataset, core.Config{
 		Workers:       *workers,
 		Recorder:      rec,
 		Ledger:        led,
+		Recycler:      rc,
 		CapacityBytes: *capacity,
 		MinProfit:     *minProfit,
 		SLO:           obs.NewSLO(obs.SLOConfig{Target: *sloTarget, Objective: *sloObj}),
@@ -204,6 +226,10 @@ func main() {
 		if sh.gov != nil {
 			governor = func() any { return sh.gov.Snapshot() }
 		}
+		var recyclerDump func() any
+		if rc != nil {
+			recyclerDump = func() any { return rc.Debug() }
+		}
 		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), obs.DebugOptions{
 			CacheDump: func() any { return sh.mgr.CacheDebug() },
 			Sampler:   sampler,
@@ -212,6 +238,7 @@ func main() {
 			SLO:       sh.mgr.SLO(),
 			Shapes:    sh.mgr.Shapes(),
 			Governor:  governor,
+			Recycler:  recyclerDump,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
@@ -407,7 +434,7 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \advisor  \stats  \slo  \shapes  \quit
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \recycler  \advisor  \stats  \slo  \shapes  \quit
 \slo                        windowed SLO report and governor snapshot (-govern)
 \shapes                     per-query-shape profiles (rolling p50/p99, hit rate)
 \traces                     list flight-recorded query traces (newest first)
@@ -485,6 +512,26 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			}
 			fmt.Printf("  profit=%10.3f hits=%-5d size=%-8d dirty=%-4d rebuilds=%d maint=%d%s\n    %s\n",
 				e.Profit, e.Hits, e.SizeBytes, e.DirtyCounter, e.Rebuilds, e.Maintenances, staleMark, e.Key)
+		}
+	case "\\recycler":
+		rc := sh.mgr.Recycler()
+		if rc == nil {
+			fmt.Println("recycler disabled (run with -recycle)")
+			break
+		}
+		dbg := rc.Debug()
+		fmt.Printf("partials=%d bytes=%d capacity=%d  hits=%d misses=%d topups=%d bypasses=%d evictions=%d invalidations=%d\n",
+			dbg.Entries, dbg.Bytes, dbg.CapacityBytes,
+			dbg.Hits, dbg.Misses, dbg.Topups, dbg.Bypasses, dbg.Evictions, dbg.Invalidations)
+		fmt.Printf("builds=%d bytes=%d capacity=%d  hits=%d misses=%d evictions=%d\n",
+			dbg.BuildEntries, dbg.BuildBytes, dbg.BuildCapacityBytes,
+			dbg.BuildHits, dbg.BuildMisses, dbg.BuildEvictions)
+		for _, e := range dbg.Partials {
+			fmt.Printf("  profit=%10.3f hits=%-5d topups=%-4d groups=%-6d cost-rows=%-8d wm=%-6d size=%d\n    %s\n",
+				e.Profit, e.Hits, e.Topups, e.Groups, e.CostRows, e.SnapHigh, e.Bytes, e.Key)
+		}
+		for _, b := range dbg.Builds {
+			fmt.Printf("  build rows=%-8d hits=%-5d size=%-8d %s\n", b.Rows, b.Hits, b.Bytes, b.Key)
 		}
 	case "\\stats":
 		// Sorted-name iteration keeps the dump deterministic for goldens

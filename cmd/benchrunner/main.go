@@ -45,6 +45,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "subjoin worker-pool size per query; 0 = GOMAXPROCS, 1 = sequential")
 		online    = flag.Bool("online-merge", false, "run the experiments' delta merges as non-blocking online merges")
 		advise    = flag.Bool("advisor", false, "attach a cache decision ledger to the workload experiments and embed the shadow-cache what-if report (capacity/threshold sweeps, policies, tenant splits) into BENCH_<exp>.json")
+		recycle   = flag.Bool("recycle", false, "attach the second-level recycler cache (cross-query subjoin and build-table reuse) to the workload experiments' managers; results are identical, only timings change")
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		soak      = flag.Duration("soak", 0, "per-arm duration of the serve soak experiment (0 = experiment default)")
 		govern    = flag.Bool("govern", false, "run only the governed arm of the serve soak (skip the ungoverned control arm)")
@@ -54,6 +55,7 @@ func main() {
 	bench.Workers = *workers
 	bench.OnlineMerge = *online
 	bench.Advisor = *advise
+	bench.Recycle = *recycle
 	bench.SoakDuration = *soak
 	bench.SoakGovernedOnly = *govern
 	if *traceOut != "" {

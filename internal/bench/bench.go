@@ -19,6 +19,7 @@ import (
 	"aggcache/internal/advisor"
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
+	"aggcache/internal/recycler"
 	"aggcache/internal/table"
 )
 
@@ -42,11 +43,29 @@ var OnlineMerge bool
 // path and the analysis runs after the timed sweep.
 var Advisor bool
 
+// Recycle attaches a second-level recycler cache (cross-query reuse of
+// subjoin intermediates and join build tables) to the workload experiments'
+// managers. cmd/benchrunner sets it from -recycle. Results are identical
+// either way — recycled partials are merged copies and top-ups are exact
+// incremental terms; only timings change. The ablate-recycler experiment
+// ignores this flag: it always runs one arm with and one without.
+var Recycle bool
+
 // advisorLedger returns the decision ledger experiments hand to their
 // manager: a fresh ring when -advisor is on, nil (disabled) otherwise.
 func advisorLedger() *obs.Ledger {
 	if Advisor {
 		return obs.NewLedger(0)
+	}
+	return nil
+}
+
+// benchRecycler returns the recycler cache for one experiment manager: a
+// fresh cache when -recycle is on, nil otherwise. Always per-manager fresh —
+// experiments must not leak reuse across arms or databases.
+func benchRecycler() *recycler.Cache {
+	if Recycle {
+		return recycler.New(recycler.Config{})
 	}
 	return nil
 }
@@ -344,6 +363,7 @@ func All() []Experiment {
 		{ID: "fig11", Title: "Join pruning with hot/cold partitioning (Fig. 11)", Run: RunFig11},
 		{ID: "ablate-sync", Title: "Merge synchronization ablation (Sec. 5.2)", Run: RunAblateMergeSync},
 		{ID: "ablate-negdelta", Title: "Negative-delta join compensation vs rebuild (Sec. 8 extension)", Run: RunAblateNegDelta},
+		{ID: "ablate-recycler", Title: "Second-level recycler cache: cross-query subjoin reuse vs full delta compensation", Run: RunAblateRecycler},
 		{ID: "serve", Title: "Closed-loop soak: sustained mixed traffic with SLO tracking and the maintenance governor", Run: RunServe},
 	}
 }

@@ -39,8 +39,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id found")
 	}
-	if len(All()) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(All()))
+	if len(All()) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(All()))
 	}
 }
 
@@ -195,6 +195,26 @@ func TestRunAblateMergeSyncQuick(t *testing.T) {
 	}
 	if syncNote == "" || indepNote == "" {
 		t.Fatalf("notes missing: %v", r.Notes)
+	}
+}
+
+func TestRunAblateRecyclerQuick(t *testing.T) {
+	r, err := RunAblateRecycler(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	// RunAblateRecycler itself errors if the arms ever diverge; here we
+	// only pin the report shape (the speedup magnitude is benchdiff-gated
+	// in CI, not asserted in a unit test where timer noise would flake).
+	var found bool
+	for _, n := range r.Notes {
+		if strings.Contains(n, "speedup") && strings.Contains(n, "byte-identical") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes missing speedup/identity line: %v", r.Notes)
 	}
 }
 

@@ -43,7 +43,7 @@ func RunFig7(quick bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{Workers: Workers, Ledger: advisorLedger()})
+	mgr := core.NewManager(erp.DB, erp.Reg, core.Config{Workers: Workers, Ledger: advisorLedger(), Recycler: benchRecycler()})
 	q := erp.ProfitQuery(cfg.erp.BaseYear+cfg.erp.Years-1, cfg.erp.Languages[0])
 
 	res := &Result{

@@ -39,7 +39,7 @@ func RunFig9(quick bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr := core.NewManager(ch.DB, ch.Reg, core.Config{Workers: Workers, Ledger: advisorLedger()})
+	mgr := core.NewManager(ch.DB, ch.Reg, core.Config{Workers: Workers, Ledger: advisorLedger(), Recycler: benchRecycler()})
 
 	res := &Result{
 		ID:     "fig9",

@@ -188,14 +188,16 @@ func runServeArm(p serveParams, governed bool) (*SoakArm, []Series, error) {
 	// cadence.
 	sloCfg := obs.SLOConfig{Target: p.sloTarget}
 	mgrERP := core.NewManager(erp.DB, erp.Reg, core.Config{
-		Workers: Workers,
-		SLO:     obs.NewSLO(sloCfg),
-		Shapes:  obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+		Workers:  Workers,
+		SLO:      obs.NewSLO(sloCfg),
+		Shapes:   obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+		Recycler: benchRecycler(),
 	})
 	mgrCH := core.NewManager(ch.DB, ch.Reg, core.Config{
-		Workers: Workers,
-		SLO:     obs.NewSLO(sloCfg),
-		Shapes:  obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+		Workers:  Workers,
+		SLO:      obs.NewSLO(sloCfg),
+		Shapes:   obs.NewShapes(obs.DefaultShapeCapacity, obs.DefaultShapeWindowSlots),
+		Recycler: benchRecycler(),
 	})
 
 	// The read mix: the ERP profit/revenue dashboard plus the four CH

@@ -31,6 +31,9 @@ var _ table.OnlineMergeHook = (*mergeHook)(nil)
 
 func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
 	m := h.m
+	// The offline merge is about to replace the partition's stores; every
+	// recycled intermediate guarded by them is dead weight from here on.
+	m.recycleInvalidate(tbl.Name())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, key := range m.sortedEntryKeys() {
@@ -60,7 +63,7 @@ func (h *mergeHook) BeforeMerge(db *table.DB, tbl *table.Table, part int, snap t
 		// Fold the merging delta against the other tables' main stores:
 		// exactly the subjoins the new, larger main will cover from now on.
 		combos := m.mergeFoldCombos(e.Query, tbl.Name(), part)
-		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, e.Value, &st, nil); err != nil {
+		if err := m.runCombos(e.Query, combos, snap, CachedFullPruning, false, e.Value, &st, nil); err != nil {
 			m.markStale(e, "merge-time delta fold failed: "+err.Error())
 			continue
 		}
@@ -146,7 +149,7 @@ func (h *mergeHook) FoldOnline(db *table.DB, tbl *table.Table, part int, snap tx
 	for _, j := range jobs {
 		foldC := query.NewAggTable(j.e.Query.Aggs)
 		var st query.Stats
-		if err := m.runCombos(j.e.Query, j.combos, snap, CachedFullPruning, foldC, &st, nil); err != nil {
+		if err := m.runCombos(j.e.Query, j.combos, snap, CachedFullPruning, false, foldC, &st, nil); err != nil {
 			m.mu.Lock()
 			m.markStale(j.e, "merge-time delta fold failed: "+err.Error())
 			m.mu.Unlock()
@@ -168,6 +171,13 @@ func (h *mergeHook) FoldOnline(db *table.DB, tbl *table.Table, part int, snap tx
 // store layout and are marked stale instead.
 func (h *mergeHook) SwapOnline(db *table.DB, tbl *table.Table, part int, snap txn.Snapshot) {
 	m := h.m
+	// The swap replaces the partition's stores (delta folds into a new
+	// main, delta2 becomes the delta). Recycled intermediates stayed
+	// servable through the whole build phase — the frozen stores kept
+	// their identity — but die here. The pointer guards would catch every
+	// reuse attempt anyway; dropping now frees the bytes and records the
+	// invalidations deterministically.
+	m.recycleInvalidate(tbl.Name())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	name := tbl.Name()
@@ -227,6 +237,10 @@ func (h *mergeHook) SwapOnline(db *table.DB, tbl *table.Table, part int, snap tx
 // merge must go.
 func (h *mergeHook) AbortOnline(db *table.DB, tbl *table.Table, part int) {
 	m := h.m
+	// Conservative: the rollback leaves the frozen stores in place, but
+	// delta2's fate is the merge machinery's business — drop anything
+	// guarded by this table rather than reason about it.
+	m.recycleInvalidate(tbl.Name())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	name := tbl.Name()

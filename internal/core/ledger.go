@@ -7,6 +7,7 @@ import (
 
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
+	"aggcache/internal/recycler"
 )
 
 // This file wires the cache decision ledger (obs.Ledger) into the manager:
@@ -232,6 +233,67 @@ func (m *Manager) ledFold(e *Entry, tuples int64, mode string) {
 	d.Reason = mode
 	d.Rows = tuples
 	m.ledRecord(d)
+}
+
+// ledRecycle records one recycler decision — hit/top-up at plan time,
+// admission at job completion. Key is the query fingerprint with the combo
+// in Reason, mirroring the subjoin event attributes; rows carries the
+// top-up row count (topup) or the execution cost (admit). Recycler records
+// intentionally leave CacheBytes/CacheEntries zero: those canonical fields
+// snapshot the aggregate cache, which recycler decisions do not touch, and
+// the manager lock is not held here. Recorded on the coordinating goroutine
+// in plan/job order, so the ledger stays byte-identical across worker
+// counts.
+func (m *Manager) ledRecycle(kind obs.DecisionKind, q *query.Query, strat Strategy, combo query.Combo, rows int64, size uint64) {
+	if !m.led.Enabled() {
+		return
+	}
+	m.ledRecord(obs.Decision{
+		Kind:      kind,
+		Key:       q.Fingerprint(),
+		Shape:     q.Shape(),
+		Strategy:  strat.String(),
+		Reason:    combo.String(),
+		Rows:      rows,
+		SizeBytes: size,
+	})
+}
+
+// ledRecycleEvictions records recycler evictions (capacity pressure or
+// invalidation): the note's key is the full partial key (fingerprint plus
+// store assignment). q may be nil when the eviction comes from a merge
+// hook's InvalidateTable rather than a query.
+func (m *Manager) ledRecycleEvictions(q *query.Query, strat Strategy, notes []recycler.EvictionNote) {
+	if !m.led.Enabled() {
+		return
+	}
+	for _, n := range notes {
+		d := obs.Decision{
+			Kind:      obs.DecisionRecycleEvict,
+			Key:       n.Key,
+			Reason:    n.Reason,
+			Hits:      n.Hits,
+			SizeBytes: n.Size,
+			MainRows:  n.CostRows,
+		}
+		if q != nil {
+			d.Shape = q.Shape()
+			d.Strategy = strat.String()
+		}
+		m.ledRecord(d)
+	}
+}
+
+// recycleInvalidate drops every recycled intermediate guarded by the named
+// table's stores and records the evictions. Called by the merge hooks at
+// the points where the table's store identities change (offline merge
+// start, online swap, online abort).
+func (m *Manager) recycleInvalidate(name string) {
+	if m.rc == nil {
+		return
+	}
+	notes := m.rc.InvalidateTable(name)
+	m.ledRecycleEvictions(nil, 0, notes)
 }
 
 // sortedEntryKeys lists the cache keys in lexical order. The merge hooks

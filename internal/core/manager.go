@@ -11,6 +11,7 @@ import (
 	"aggcache/internal/md"
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
+	"aggcache/internal/recycler"
 	"aggcache/internal/table"
 	"aggcache/internal/txn"
 	"aggcache/internal/vec"
@@ -69,6 +70,14 @@ type Config struct {
 	// cost, delta rows, and windowed latency per shape for /debug/shapes,
 	// \shapes, and EXPLAIN ANALYZE. Nil (the default) disables profiling.
 	Shapes *obs.Shapes
+	// Recycler is the second-level cache of subjoin intermediates and
+	// build-side join hash tables (internal/recycler): when non-nil, delta
+	// compensation consults it per subjoin — serving exact watermark hits
+	// without executing, topping up older partials by scanning only newly
+	// visible rows — and the hash-join build path reuses cached build
+	// tables across queries. Invalidation rides the merge hooks. Nil (the
+	// default) disables recycling; results are byte-identical either way.
+	Recycler *recycler.Cache
 }
 
 // ExecInfo reports how one query execution was served.
@@ -122,6 +131,7 @@ type Manager struct {
 	led     *obs.Ledger
 	slo     *obs.SLO
 	shapes  *obs.Shapes
+	rc      *recycler.Cache
 	// ghost is the bounded shadow of recently evicted keys (ghostFIFO holds
 	// insertion order); a miss that finds its key here is a capacity regret.
 	ghost     map[string]ghostInfo
@@ -183,12 +193,18 @@ func NewManager(db *table.DB, mds *md.Registry, cfg Config) *Manager {
 		led:               cfg.Ledger,
 		slo:               cfg.SLO,
 		shapes:            cfg.Shapes,
+		rc:                cfg.Recycler,
 		ghost:             make(map[string]ghostInfo),
 		evictionsByReason: make(map[string]int64),
 		pendingFolds:      make(map[foldKey]*pendingFold),
 		foldedActive:      make(map[string]bool),
 	}
 	m.exec.ParallelSubjoins = m.obs.parallelSubjoins
+	if cfg.Recycler != nil {
+		// The interface assignment is gated so a nil *Cache never becomes a
+		// non-nil BuildSource.
+		m.exec.Builds = cfg.Recycler
+	}
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -544,8 +560,26 @@ func mainCombos(db *table.DB, q *query.Query) []query.Combo {
 // spans happen in combo order on this goroutine — and the surviving
 // subjoins run as a batch through the executor's worker pool, which merges
 // results (and fires the per-subjoin executed event) back in plan order.
-func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, out *query.AggTable, st *query.Stats, sp *obs.Span) error {
+//
+// recycle additionally consults the recycler per surviving subjoin (delta
+// compensation only): exact watermark hits skip execution entirely, older
+// partials are topped up by scanning just the newly visible rows, and
+// misses offer their result for admission when the job completes. Lookups
+// happen here in plan order and admissions in job-index order on this
+// goroutine, so recycler decisions — and their ledger records — are
+// byte-identical at every worker count.
+func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snapshot, strat Strategy, recycle bool, out *query.AggTable, st *query.Stats, sp *obs.Span) error {
+	// The recycler keys partials by the pinned read watermark; snapshots
+	// with an in-flight transaction see their own writes and must bypass.
+	recycle = recycle && m.rc != nil && snap.Self == 0
+	type recDisp uint8
+	const (
+		recNone  recDisp = iota
+		recAdmit         // miss: offer the executed result for admission
+		recTopup         // top-up: install the advanced value
+	)
 	jobs := make([]query.ComboJob, 0, len(combos))
+	var disp []recDisp
 	for _, combo := range combos {
 		st.Subjoins++
 		cs := sp.Child(combo.String())
@@ -594,13 +628,61 @@ func (m *Manager) runCombos(q *query.Query, combos []query.Combo, snap txn.Snaps
 				}
 			}
 		}
-		jobs = append(jobs, query.ComboJob{Combo: combo, Extra: extra, Span: cs})
+		job := query.ComboJob{Combo: combo, Extra: extra, Span: cs}
+		d := recNone
+		if recycle {
+			v := m.rc.Lookup(q, combo, snap, m.db)
+			if v.Invalidated {
+				m.ledRecycleEvictions(q, strat, v.Evicted)
+			}
+			switch v.Kind {
+			case recycler.Hit:
+				st.RecycledSubjoins++
+				job.Cached = v.Value
+				cs.Attr("verdict", "recycled")
+				m.ledRecycle(obs.DecisionRecycleHit, q, strat, combo, 0, 0)
+				if m.ev.Enabled() {
+					m.ev.Emit("recycler.hits",
+						slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()))
+				}
+			case recycler.Topup:
+				st.RecycledTopups++
+				job.Cached = v.Value
+				job.Terms = v.Terms
+				d = recTopup
+				// The top-up terms execute, so the span's verdict stays
+				// "executed"; the recycler attr marks the seed reuse.
+				cs.Attr("recycler", "topup")
+				cs.AttrInt("topup-rows", v.NewRows)
+				m.ledRecycle(obs.DecisionRecycleTopup, q, strat, combo, v.NewRows, 0)
+				if m.ev.Enabled() {
+					m.ev.Emit("recycler.topups",
+						slog.String("query", q.Fingerprint()), slog.String("combo", combo.String()),
+						slog.Int64("new_rows", v.NewRows))
+				}
+			case recycler.Miss:
+				d = recAdmit
+			case recycler.Bypass:
+				cs.Attr("recycler", "bypass")
+			}
+		}
+		jobs = append(jobs, job)
+		disp = append(disp, d)
 	}
-	var onDone func(i int, jst *query.Stats)
-	if m.ev.Enabled() {
-		onDone = func(i int, jst *query.Stats) {
-			// Scan-pruned subjoins emit their own event from the executor.
-			if jst.PrunedScan > 0 {
+	var onDone func(i int, jst *query.Stats, sub *query.AggTable)
+	if m.ev.Enabled() || recycle {
+		onDone = func(i int, jst *query.Stats, sub *query.AggTable) {
+			if recycle && disp[i] != recNone {
+				cost := jst.RowsScanned + jst.TuplesJoined
+				o := m.rc.Complete(q, jobs[i].Combo, snap, m.db, sub, cost, disp[i] == recTopup)
+				if o.Admitted {
+					m.ledRecycle(obs.DecisionRecycleAdmit, q, strat, jobs[i].Combo, cost, o.Size)
+				}
+				m.ledRecycleEvictions(q, strat, o.Evicted)
+			}
+			// Scan-pruned subjoins emit their own event from the executor;
+			// recycled hits executed nothing to report.
+			if !m.ev.Enabled() || jst.PrunedScan > 0 || jst.Executed == 0 {
 				return
 			}
 			m.ev.Emit("subjoins.executed",
@@ -644,7 +726,7 @@ func (m *Manager) rebuildEntry(e *Entry, snap txn.Snapshot, strat Strategy, st *
 	begin := time.Now()
 	value := query.NewAggTable(e.Query.Aggs)
 	tuplesBefore := st.TuplesJoined
-	if err := m.runCombos(e.Query, mainCombos(m.db, e.Query), snap, strat, value, st, sp); err != nil {
+	if err := m.runCombos(e.Query, mainCombos(m.db, e.Query), snap, strat, false, value, st, sp); err != nil {
 		return err
 	}
 	oldBytes := e.Metrics.SizeBytes
@@ -881,6 +963,9 @@ func (m *Manager) recordServed(q *query.Query, info *ExecInfo, err error) {
 // SLO returns the manager's SLO tracker; nil when disabled.
 func (m *Manager) SLO() *obs.SLO { return m.slo }
 
+// Recycler returns the second-level intermediate cache; nil when disabled.
+func (m *Manager) Recycler() *recycler.Cache { return m.rc }
+
 // Shapes returns the per-shape profile table; nil when disabled.
 func (m *Manager) Shapes() *obs.Shapes { return m.shapes }
 
@@ -913,5 +998,8 @@ func (m *Manager) deltaCompensate(q *query.Query, snap txn.Snapshot, strat Strat
 			combos = append(combos, c)
 		}
 	}
-	return m.runCombos(q, combos, snap, strat, res, st, sp)
+	// Delta compensation is the recycler's regime: the same delta-involving
+	// subjoins recur across queries and across successive compensations of
+	// one query at advancing watermarks.
+	return m.runCombos(q, combos, snap, strat, true, res, st, sp)
 }

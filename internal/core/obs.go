@@ -35,6 +35,10 @@ type managerObs struct {
 	pushdowns    *obs.Counter // subjoins.pushdowns
 	rowsScanned  *obs.Counter // exec.rows_scanned
 	tuplesJoined *obs.Counter // exec.tuples_joined
+	// Recycler reuse as seen by executions (the recycler's own pool
+	// counters live under recycler.* in the cache's registry).
+	recycledSubjoins *obs.Counter // subjoins.recycled — served whole from the recycler
+	recycledTopups   *obs.Counter // subjoins.recycle_topups — seeded and topped up
 
 	// Parallel subjoin pipeline and scan kernels.
 	workers          *obs.Gauge   // exec.workers — resolved worker pool cap
@@ -98,6 +102,9 @@ func newManagerObs(reg *obs.Registry) *managerObs {
 		tuplesJoined: reg.Counter("exec.tuples_joined"),
 		workers:      reg.Gauge("exec.workers"),
 
+		recycledSubjoins: reg.Counter("subjoins.recycled"),
+		recycledTopups:   reg.Counter("subjoins.recycle_topups"),
+
 		parallelSubjoins: reg.Counter("exec.parallel_subjoins"),
 		scanVecRows:      reg.Counter("exec.scan_vec_rows"),
 		scanScalarRows:   reg.Counter("exec.scan_scalar_rows"),
@@ -151,6 +158,8 @@ func (o *managerObs) recordStats(st *query.Stats) {
 	o.scanVecRows.Add(st.ScanVecRows)
 	o.scanScalarRows.Add(st.ScanScalarRows)
 	o.tuplesJoined.Add(st.TuplesJoined)
+	o.recycledSubjoins.Add(int64(st.RecycledSubjoins))
+	o.recycledTopups.Add(int64(st.RecycledTopups))
 }
 
 // syncGauges publishes the cache footprint; callers hold m.mu.

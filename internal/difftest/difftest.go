@@ -3,7 +3,8 @@
 // updates, deletes, offline/online/staged delta merges, fault-injected
 // crashes, and data aging over the ERP schema, and every embedded query
 // check asserts that all cached execution strategies — at one and at four
-// executor workers — return results byte-identical to the uncached oracle.
+// executor workers, with and without the cross-query recycler cache —
+// return results byte-identical to the uncached oracle.
 //
 // Failures reproduce from their seed alone. The harness shrinks a failing
 // operation sequence by greedy chunk removal before reporting, and can
@@ -23,6 +24,7 @@ import (
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
+	"aggcache/internal/recycler"
 	"aggcache/internal/table"
 	"aggcache/internal/workload"
 )
@@ -97,6 +99,14 @@ type Config struct {
 	// merges are physical reorganizations of the shared database, so the
 	// worker-count ledger identity must survive them.
 	Govern bool
+	// Recycle adds a second pair of managers (one and four workers), each
+	// with its own recycler cache and decision ledger. Every check also runs
+	// through them: results must stay byte-identical to the oracle, Stats
+	// must match across worker counts, and the recycled pair's canonical
+	// ledgers — which now include recycle-hit/topup/admit/evict decisions —
+	// must be byte-identical too, across merges, aborted merges, crashes,
+	// and aging.
+	Recycle bool
 }
 
 // SmallERP is the default laptop-second scale schema for differential runs.
@@ -171,8 +181,12 @@ type Runner struct {
 	erp        *workload.ERP
 	m1, m4     *core.Manager
 	led1, led4 *obs.Ledger
-	objs       []object
-	staged     map[stagedKey]*table.OnlineMerge
+	// Recycled pair (nil unless cfg.Recycle): same shared database, own
+	// recycler caches and ledgers.
+	mr1, mr4     *core.Manager
+	ledR1, ledR4 *obs.Ledger
+	objs         []object
+	staged       map[stagedKey]*table.OnlineMerge
 	// gov ticks on a synthetic clock when cfg.Govern is set; govClock is
 	// the fake "now" advanced a fixed step per op, so governor decisions
 	// are a pure function of the op sequence.
@@ -197,21 +211,31 @@ func NewRunner(cfg Config) (*Runner, error) {
 	// byte-identical in canonical form — cache decisions, like results,
 	// must not depend on the worker count.
 	led1, led4 := obs.NewLedger(0), obs.NewLedger(0)
-	mk := func(workers int, led *obs.Ledger) *core.Manager {
+	mk := func(workers int, led *obs.Ledger, rc *recycler.Cache) *core.Manager {
 		return core.NewManager(erp.DB, erp.Reg, core.Config{
-			Workers: workers,
-			Metrics: obs.NewRegistry(),
-			Ledger:  led,
+			Workers:  workers,
+			Metrics:  obs.NewRegistry(),
+			Ledger:   led,
+			Recycler: rc,
 		})
 	}
 	r := &Runner{
 		erp:    erp,
-		m1:     mk(1, led1),
-		m4:     mk(4, led4),
+		m1:     mk(1, led1, nil),
+		m4:     mk(4, led4, nil),
 		led1:   led1,
 		led4:   led4,
 		staged: make(map[stagedKey]*table.OnlineMerge),
 		cfg:    cfg,
+	}
+	if cfg.Recycle {
+		// Each recycled manager gets a private cache so the pair's recycler
+		// states evolve as identical pure functions of the op sequence —
+		// unlimited capacity for the same reason the aggregate cache runs
+		// unlimited here.
+		r.ledR1, r.ledR4 = obs.NewLedger(0), obs.NewLedger(0)
+		r.mr1 = mk(1, r.ledR1, recycler.New(recycler.Config{Metrics: obs.NewRegistry()}))
+		r.mr4 = mk(4, r.ledR4, recycler.New(recycler.Config{Metrics: obs.NewRegistry()}))
 	}
 	if cfg.Govern {
 		// Delta-rows trigger only: growth, compensation-p99, and SLO burn
@@ -307,6 +331,17 @@ func (r *Runner) compareLedgers() error {
 	if a1 != a4 {
 		return fmt.Errorf("advisor reports diverged across worker counts:%s",
 			firstDiffLine(a1, a4))
+	}
+	if r.ledR1 != nil {
+		// The recycled pair's ledgers carry recycle-hit/topup/admit/evict
+		// decisions on top of the cache stream; they too must be a pure
+		// function of the op sequence, not the worker count.
+		cr1 := obs.CanonLedger(r.ledR1.Snapshot())
+		cr4 := obs.CanonLedger(r.ledR4.Snapshot())
+		if cr1 != cr4 {
+			return fmt.Errorf("recycled decision ledgers diverged across worker counts:%s",
+				firstDiffLine(cr1, cr4))
+		}
 	}
 	return nil
 }
@@ -545,25 +580,41 @@ func (r *Runner) check(op Op) error {
 	want := renderRows(oracle)
 	r.checks++
 	r.Outputs = append(r.Outputs, want)
-	for _, strat := range core.Strategies() {
-		var ref query.Stats
-		for wi, m := range []*core.Manager{r.m1, r.m4} {
-			res, info, err := m.Execute(q, strat)
-			if err != nil {
-				return fmt.Errorf("%v workers=%d: %w", strat, 1+3*wi, err)
-			}
-			if got := renderRows(res); got != want {
-				return fmt.Errorf("%v workers=%d diverged from oracle\n got: %s\nwant: %s",
-					strat, 1+3*wi, got, want)
-			}
-			// The executor guarantees worker-count-independent results;
-			// the deterministic subjoin counters must agree too.
-			st := canonStats(info.Stats)
-			if wi == 0 {
-				ref = st
-			} else if st != ref {
-				return fmt.Errorf("%v stats diverged across worker counts:\n w1: %+v\n w4: %+v",
-					strat, ref, st)
+	// Each mode is a worker-count pair sharing all state that may legally
+	// influence results (none) and stats (its cache and recycler): plain
+	// managers always, the recycled pair when enabled. Stats are compared
+	// within a mode — recycled executions legitimately scan fewer rows.
+	modes := []struct {
+		name   string
+		m1, m4 *core.Manager
+	}{{"plain", r.m1, r.m4}}
+	if r.mr1 != nil {
+		modes = append(modes, struct {
+			name   string
+			m1, m4 *core.Manager
+		}{"recycled", r.mr1, r.mr4})
+	}
+	for _, mode := range modes {
+		for _, strat := range core.Strategies() {
+			var ref query.Stats
+			for wi, m := range []*core.Manager{mode.m1, mode.m4} {
+				res, info, err := m.Execute(q, strat)
+				if err != nil {
+					return fmt.Errorf("%s %v workers=%d: %w", mode.name, strat, 1+3*wi, err)
+				}
+				if got := renderRows(res); got != want {
+					return fmt.Errorf("%s %v workers=%d diverged from oracle\n got: %s\nwant: %s",
+						mode.name, strat, 1+3*wi, got, want)
+				}
+				// The executor guarantees worker-count-independent results;
+				// the deterministic subjoin counters must agree too.
+				st := canonStats(info.Stats)
+				if wi == 0 {
+					ref = st
+				} else if st != ref {
+					return fmt.Errorf("%s %v stats diverged across worker counts:\n w1: %+v\n w4: %+v",
+						mode.name, strat, ref, st)
+				}
 			}
 		}
 	}

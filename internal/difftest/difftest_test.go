@@ -46,7 +46,7 @@ func TestDifferentialRandom(t *testing.T) {
 	for s := 0; s < seeds; s++ {
 		seed := int64(1000 + s)
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			cfg := Config{ERP: SmallERP(seed), Ops: 60}
+			cfg := Config{ERP: SmallERP(seed), Ops: 60, Recycle: true}
 			ops := Generate(seed, cfg.Ops)
 			if _, err := RunSeed(cfg, seed, ops); err != nil {
 				reportFailure(t, cfg, seed, ops, err)
@@ -61,7 +61,7 @@ func TestDifferentialHotCold(t *testing.T) {
 	for s := 0; s < seeds; s++ {
 		seed := int64(2000 + s)
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			cfg := Config{ERP: HotColdERP(seed), Ops: 50}
+			cfg := Config{ERP: HotColdERP(seed), Ops: 50, Recycle: true}
 			ops := Generate(seed, cfg.Ops)
 			if _, err := RunSeed(cfg, seed, ops); err != nil {
 				reportFailure(t, cfg, seed, ops, err)

@@ -35,6 +35,10 @@ type DebugOptions struct {
 	Governor func() any
 	// Shapes feeds /debug/shapes; nil makes it a 404.
 	Shapes *Shapes
+	// Recycler returns the recycler cache's debug snapshot (partials and
+	// build tables with hit/top-up tallies); nil makes /debug/recycler a
+	// 404. A func so obs does not depend on the recycler package.
+	Recycler func() any
 }
 
 // DebugMux builds the debug HTTP surface:
@@ -44,6 +48,7 @@ type DebugOptions struct {
 //	/debug/series       sampler ring buffers as JSON (time series per metric)
 //	/debug/series?last=N  the same, trimmed to each series' newest N points
 //	/debug/cache        JSON dump produced by CacheDump (entry metrics by profit)
+//	/debug/recycler     recycler cache snapshot (subjoin partials + build tables)
 //	/debug/slo          SLO report (burn rates, budget) + governor snapshot
 //	/debug/shapes       per-query-shape profiles, busiest first
 //	/debug/advisor      shadow-cache what-if report as JSON (Advisor)
@@ -115,6 +120,13 @@ func DebugMux(reg *Registry, opts DebugOptions) *http.ServeMux {
 			return
 		}
 		writeJSON(w, emptyAsList(opts.CacheDump()))
+	})
+	handle("/debug/recycler", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Recycler == nil {
+			http.Error(w, "no recycler", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, opts.Recycler())
 	})
 	handle("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
 		if opts.SLO == nil && opts.Governor == nil {

@@ -37,12 +37,26 @@ const (
 	// DecisionFold: merge-time incremental maintenance folded a merging
 	// delta into an entry (Rows carries the folded tuple count).
 	DecisionFold
+	// DecisionRecycleHit: a subjoin was served entirely from the recycler
+	// cache (exact watermark match).
+	DecisionRecycleHit
+	// DecisionRecycleTopup: a recycled subjoin partial at an older
+	// watermark seeded the result; only newly visible rows were scanned
+	// (Rows carries the top-up row count).
+	DecisionRecycleTopup
+	// DecisionRecycleAdmit: a freshly executed subjoin partial was
+	// admitted to the recycler.
+	DecisionRecycleAdmit
+	// DecisionRecycleEvict: a recycler partial was removed (see Reason:
+	// capacity, invalidated).
+	DecisionRecycleEvict
 	numDecisionKinds
 )
 
 var decisionKindNames = [numDecisionKinds]string{
 	"hit", "miss", "rebuild", "bypass", "admit", "reject",
 	"evict", "invalidate", "compensate", "fold",
+	"recycle-hit", "recycle-topup", "recycle-admit", "recycle-evict",
 }
 
 // String names the decision kind; the names double as the JSON encoding.

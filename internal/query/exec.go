@@ -104,6 +104,13 @@ type Stats struct {
 	ScanScalarRows int64
 	// TuplesJoined counts join result tuples aggregated.
 	TuplesJoined int64
+	// RecycledSubjoins counts subjoins served entirely from the recycler
+	// cache (exact watermark hit: no scan, no join, no aggregation).
+	RecycledSubjoins int
+	// RecycledTopups counts subjoins seeded from a recycler entry at an
+	// older tid-watermark and topped up by scanning only the rows that
+	// became visible since.
+	RecycledTopups int
 }
 
 // Add folds another stats record into s.
@@ -118,6 +125,8 @@ func (s *Stats) Add(o Stats) {
 	s.ScanVecRows += o.ScanVecRows
 	s.ScanScalarRows += o.ScanScalarRows
 	s.TuplesJoined += o.TuplesJoined
+	s.RecycledSubjoins += o.RecycledSubjoins
+	s.RecycledTopups += o.RecycledTopups
 }
 
 // Executor evaluates aggregate queries against a database. It is a pure
@@ -136,6 +145,12 @@ type Executor struct {
 	// discards the count. It is an observability counter rather than a
 	// Stats field because its value depends on the worker count.
 	ParallelSubjoins *obs.Counter
+	// Builds, when non-nil, is a cross-query cache of build-side join
+	// hash tables (the recycler). Batches consult it through the
+	// per-batch build memo; a miss populates it. Build reuse never
+	// changes results or Stats — a cached table is only served when its
+	// candidate row set is byte-identical to what a fresh scan produced.
+	Builds BuildSource
 }
 
 // ExecuteCombo evaluates one subjoin — the query restricted to the given
@@ -169,13 +184,14 @@ func (e *Executor) ExecuteComboRestricted(q *Query, combo Combo, snap txn.Snapsh
 func (e *Executor) ExecuteComboSpan(q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span) error {
 	scr := getScratch()
 	defer putScratch(scr)
-	return e.executeCombo(scr, q, combo, snap, extra, restrict, out, st, sp)
+	return e.executeCombo(scr, q, combo, snap, extra, restrict, out, st, sp, nil)
 }
 
 // executeCombo runs one subjoin with all buffers drawn from scr: vectorized
 // scans per table, a chain of hash joins over reused tuple buffers, and the
-// aggregation fold into out.
-func (e *Executor) executeCombo(scr *execScratch, q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span) error {
+// aggregation fold into out. memo, when non-nil, shares build-side hash
+// tables across the jobs of one batch (and, through it, across queries).
+func (e *Executor) executeCombo(scr *execScratch, q *Query, combo Combo, snap txn.Snapshot, extra map[string]expr.Pred, restrict []*vec.BitSet, out *AggTable, st *Stats, sp *obs.Span, memo *buildMemo) error {
 	if len(combo) != len(q.Tables) {
 		return fmt.Errorf("query: combo has %d stores for %d tables", len(combo), len(q.Tables))
 	}
@@ -249,7 +265,15 @@ func (e *Executor) executeCombo(scr *execScratch, q *Query, combo Combo, snap tx
 		if err != nil {
 			return err
 		}
-		tupleCols = scr.hashJoin(ei, tupleCols, lp, leftCol, scr.rowsPer[rp], rightCol)
+		// Build-side reuse is only sound when this job's candidate rows
+		// for the build store are the batch-common ones: no explicit row
+		// restriction and no pushdown filter on the build table.
+		var shared *BuildTable
+		if memo != nil && restrict == nil && extra[combo[rp].Table] == nil &&
+			leftCol.Kind() == column.Int64 && rightCol.Kind() == column.Int64 {
+			shared = memo.acquire(ei, combo[rp], scr.stores[rp], rightCol, scr.rowsPer[rp])
+		}
+		tupleCols = scr.hashJoin(ei, tupleCols, lp, leftCol, scr.rowsPer[rp], rightCol, shared)
 		if len(tupleCols[0]) == 0 {
 			sp.Attr("verdict", "executed")
 			sp.Attr("empty-after-join", edge.String())

@@ -79,7 +79,15 @@ func (t *joinTable) build(keys []int64, rowIDs []int32) {
 // kernel with bulk-gathered keys; other kinds fall back to a Value-keyed
 // map. Output columns live in the scratch's stage buffers, double-buffered
 // by stage parity.
-func (scr *execScratch) hashJoin(stage int, tupleCols [][]int32, leftPos int, leftCol column.Reader, rightRows []int32, rightCol column.Reader) [][]int32 {
+//
+// shared, when non-nil, is a prebuilt table over exactly rightRows (the
+// batch build memo / recycler); the build step is skipped and the shared
+// table is probed read-only. build is a pure function of (keys, rows) and
+// chains walk in ascending row order, so probing a shared table emits
+// tuples in the same order a private build would — results stay
+// byte-identical. Only the int64 path may receive one (callers gate on
+// column kinds).
+func (scr *execScratch) hashJoin(stage int, tupleCols [][]int32, leftPos int, leftCol column.Reader, rightRows []int32, rightCol column.Reader, shared *BuildTable) [][]int32 {
 	nCols := len(tupleCols)
 	p := stage & 1
 	for len(scr.stageCols[p]) <= nCols {
@@ -92,10 +100,14 @@ func (scr *execScratch) hashJoin(stage int, tupleCols [][]int32, leftPos int, le
 
 	n := len(tupleCols[0])
 	if leftCol.Kind() == column.Int64 && rightCol.Kind() == column.Int64 {
-		scr.buildKeys = gatherInt64(rightCol, rightRows, scr.buildKeys)
-		scr.ht.build(scr.buildKeys, rightRows)
-		scr.probeKeys = gatherInt64(leftCol, tupleCols[leftPos], scr.probeKeys)
 		ht := &scr.ht
+		if shared != nil {
+			ht = &shared.jt
+		} else {
+			scr.buildKeys = gatherInt64(rightCol, rightRows, scr.buildKeys)
+			scr.ht.build(scr.buildKeys, rightRows)
+		}
+		scr.probeKeys = gatherInt64(leftCol, tupleCols[leftPos], scr.probeKeys)
 		for ti := 0; ti < n; ti++ {
 			k := scr.probeKeys[ti]
 			for e := ht.heads[hashKey(uint64(k))&ht.mask]; e != 0; e = ht.next[e-1] {

@@ -29,6 +29,17 @@ type ComboJob struct {
 	// execution rather than queueing, while the span tree itself — created
 	// in plan order — stays deterministic under parallel execution.
 	Span *obs.Span
+	// Cached, when non-nil, seeds the job's result with a recycled subjoin
+	// partial (merged read-only into the job's private table). With Terms
+	// nil the seed is exact — the job executes nothing.
+	Cached *AggTable
+	// Terms holds the watermark top-up restrict sets: each term is a
+	// per-table explicit row set (nil entries keep snapshot visibility),
+	// and the job executes the terms in order on top of the Cached seed.
+	// The terms partition exactly the join contributions involving rows
+	// that became visible after the seed's watermark, so seed + terms
+	// equals a fresh execution.
+	Terms [][]*vec.BitSet
 }
 
 // PoolSize reports how many worker goroutines ExecuteJobs uses for a batch
@@ -72,13 +83,21 @@ func (e *Executor) ParallelWorkers(n int) int {
 // scheduling.
 //
 // onDone, when non-nil, is invoked in job-index order after each job's
-// result is merged — the manager's per-subjoin event hook.
+// result is merged — the manager's per-subjoin event and recycler-admission
+// hook; sub is the job's private result table, which the callback may take
+// ownership of (it is never touched again after the merge).
 //
 // On error, stats are folded in job order up to and including the first
 // failing job and that job's error is returned.
-func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out *AggTable, st *Stats, onDone func(i int, jst *Stats)) error {
+func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out *AggTable, st *Stats, onDone func(i int, jst *Stats, sub *AggTable)) error {
 	if len(jobs) == 0 {
 		return nil
+	}
+	// One build memo per batch: combos sharing a build store reuse one hash
+	// table (and, through e.Builds, tables cached by earlier queries).
+	var memo *buildMemo
+	if e.Builds != nil || len(jobs) > 1 {
+		memo = newBuildMemo(q, e.Builds)
 	}
 	if e.PoolSize(len(jobs)) <= 1 || len(jobs) < 2 {
 		scr := getScratch()
@@ -86,14 +105,14 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 		for i := range jobs {
 			sub := NewAggTable(q.Aggs)
 			var jst Stats
-			err := e.runJob(scr, q, &jobs[i], snap, sub, &jst, -1)
+			err := e.runJob(scr, q, &jobs[i], snap, sub, &jst, -1, memo)
 			st.Add(jst)
 			if err != nil {
 				return err
 			}
 			out.Merge(sub)
 			if onDone != nil {
-				onDone(i, &jst)
+				onDone(i, &jst, sub)
 			}
 		}
 		return nil
@@ -120,7 +139,7 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 				}
 				r := &results[i]
 				sub := NewAggTable(q.Aggs)
-				r.err = e.runJob(scr, q, &jobs[i], snap, sub, &r.st, worker)
+				r.err = e.runJob(scr, q, &jobs[i], snap, sub, &r.st, worker, memo)
 				r.sub = sub
 				e.ParallelSubjoins.Inc()
 			}
@@ -134,7 +153,7 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 		}
 		out.Merge(results[i].sub)
 		if onDone != nil {
-			onDone(i, &results[i].st)
+			onDone(i, &results[i].st, results[i].sub)
 		}
 	}
 	return nil
@@ -146,9 +165,29 @@ func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out
 // in the pool behind busy workers (creation to Begin), run_us its actual
 // execution time. The trace-event exporter and the critical-path analyzer
 // both key off these attributes.
-func (e *Executor) runJob(scr *execScratch, q *Query, job *ComboJob, snap txn.Snapshot, sub *AggTable, jst *Stats, worker int) error {
+func (e *Executor) runJob(scr *execScratch, q *Query, job *ComboJob, snap txn.Snapshot, sub *AggTable, jst *Stats, worker int, memo *buildMemo) error {
 	job.Span.Begin()
-	err := e.executeCombo(scr, q, job.Combo, snap, job.Extra, job.Restrict, sub, jst, job.Span)
+	var err error
+	switch {
+	case job.Cached != nil && job.Terms == nil:
+		// Exact recycler hit: the seed IS the subjoin's result at this
+		// watermark. Merge copies the groups, so the cached value is never
+		// aliased into the output.
+		sub.Merge(job.Cached)
+	case job.Cached != nil:
+		// Watermark top-up: seed with the old partial, then execute each
+		// restrict term sequentially into the same private table. Term
+		// order is fixed at plan time, so the fold order — and with it the
+		// Stats — is identical at every worker count.
+		sub.Merge(job.Cached)
+		for _, restrict := range job.Terms {
+			if err = e.executeCombo(scr, q, job.Combo, snap, job.Extra, restrict, sub, jst, job.Span, memo); err != nil {
+				break
+			}
+		}
+	default:
+		err = e.executeCombo(scr, q, job.Combo, snap, job.Extra, job.Restrict, sub, jst, job.Span, memo)
+	}
 	job.Span.End()
 	if worker >= 0 && job.Span != nil {
 		job.Span.AttrInt("worker", int64(worker))

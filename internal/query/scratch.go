@@ -17,6 +17,13 @@ import (
 // arrays of the fast aggregation path. Workers check one out of scratchPool
 // per batch, so steady-state subjoin execution allocates only the per-job
 // result table.
+//
+// The recycler's reuse paths stay inside this discipline: an exact recycled
+// hit merges the cached partial without touching scratch at all, a top-up
+// term enters through the same restrict branch of scanStore (CopyFrom into
+// the pooled bitset), and probing a shared BuildTable still gathers probe
+// keys into probeKeys while leaving buildKeys and ht untouched for the next
+// local build.
 type execScratch struct {
 	vis vec.BitSet
 
