@@ -35,6 +35,11 @@
 //	\traces export <id> <file>
 //	                     write the trace as Chrome trace-event JSON — open
 //	                     the file in ui.perfetto.dev or chrome://tracing
+//	\audit               run the cache/recycler invariant auditor once and
+//	                     print its report
+//	\bundle [file]       write the one-shot diagnostics bundle (metrics,
+//	                     series, traces, ledger, advisor, SLO, shapes,
+//	                     governor, recycler, audit, verifier) as JSON
 //	\help                this text
 //	\quit                exit
 //
@@ -70,12 +75,23 @@
 // background: it watches delta growth, windowed compensation cost, and SLO
 // burn, and triggers online merges of the transactional tables with
 // hysteresis and a cooldown (\merge stays available for manual merges).
+//
+// With -verify-sample <rate> the online shadow verifier re-executes that
+// fraction of queries in the background against the uncached oracle under
+// the same pinned snapshot, diffing rows and statistics; divergences bump
+// verify.divergences, land in the decision ledger as verify-mismatch, and
+// persist a replayable reproducer artifact. With -audit <interval> the
+// invariant auditor checks cache/recycler bookkeeping on that cadence
+// (under -govern it rides the governor's rotation cadence instead); the
+// latest report serves at /debug/audit and via \audit.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -88,6 +104,7 @@ import (
 	"aggcache/internal/recycler"
 	"aggcache/internal/sql"
 	"aggcache/internal/table"
+	"aggcache/internal/verify"
 	"aggcache/internal/workload"
 )
 
@@ -110,6 +127,11 @@ type shell struct {
 	led *obs.Ledger
 	// gov is the maintenance governor; nil unless -govern.
 	gov *core.Governor
+	// aud is the invariant auditor behind \audit and /debug/audit.
+	aud *verify.Auditor
+	// bundle assembles the one-shot diagnostics bundle behind \bundle and
+	// /debug/bundle.
+	bundle func() *verify.Bundle
 }
 
 // advisorReport replays the shell's ledger through the shadow-cache
@@ -142,13 +164,19 @@ func main() {
 		recycleCap = flag.Uint64("recycle-capacity", 0, "recycler capacity in bytes for subjoin partials, and again for build tables (0 = unlimited); lowest-profit entries are evicted first")
 		sloTarget  = flag.Duration("slo-target", obs.DefaultSLOTarget, "per-query latency target for the SLO tracker (\\slo, /debug/slo)")
 		sloObj     = flag.Float64("slo-objective", obs.DefaultSLOObjective, "fraction of queries that must meet the SLO target")
+		verifyRate = flag.Float64("verify-sample", 0, "fraction of queries shadow-verified in the background against the uncached oracle (0 disables); divergences are counted, ledgered, and persisted as reproducer artifacts")
+		verifySeed = flag.Uint64("verify-seed", 0, "seed perturbing the deterministic shadow-verification sampler")
+		auditEvery = flag.Duration("audit", 0, "run the cache/recycler invariant auditor on this cadence (0 disables the standalone loop; with -govern audits ride the governor's rotation cadence regardless)")
 	)
 	flag.Parse()
 
 	// Install the event log before loading the dataset, so the database and
-	// the cache manager pick it up through obs.Events().
+	// the cache manager pick it up through obs.Events(). The log tees
+	// through an in-memory tail so the diagnostics bundle can snapshot the
+	// last events without re-reading the file.
+	eventTail := obs.NewLineTail(obs.DefaultTailLines)
 	if *events != "" {
-		w := os.Stderr
+		var w io.Writer = os.Stderr
 		if *events != "-" {
 			f, err := os.Create(*events)
 			if err != nil {
@@ -158,7 +186,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		obs.SetDefaultEvents(obs.NewEventLog(w))
+		obs.SetDefaultEvents(obs.NewEventLog(io.MultiWriter(w, eventTail)))
 	}
 
 	var rec *obs.Recorder
@@ -195,22 +223,85 @@ func main() {
 	}
 	sh.onlineMerge = *online
 
+	// The invariant auditor backs \audit, /debug/audit, and the bundle's
+	// audit section; governed processes run it on the governor's rotation
+	// cadence, ungoverned ones on the -audit interval (or on demand).
+	sh.aud = verify.NewAuditor(sh.mgr, verify.AuditorConfig{})
+
 	// The governor owns the rolling-window rotation; without it the windows
-	// still fill but never rotate, which an interactive shell rarely
-	// notices. With -govern it also merges the transactional deltas when
-	// the signals say so.
+	// still fill but never rotate (the background sampler takes over below
+	// when -debug runs one). With -govern it also merges the transactional
+	// deltas when the signals say so, and carries the invariant audits.
 	if *govern {
 		sh.gov = core.NewGovernor(sh.mgr, core.GovernorConfig{
 			Tables:        sh.mergeTables,
 			DeltaRowsHigh: 20000,
 			CompP99HighUS: 5000,
+			Audit:         func() { sh.aud.RunOnce() },
 		})
 		sh.gov.Start()
 		defer sh.gov.Stop()
+	} else if *auditEvery > 0 {
+		sh.aud.Start(*auditEvery)
+		defer sh.aud.Stop()
+	}
+
+	// The online shadow verifier re-executes a deterministic sample of
+	// queries against the uncached oracle in the background; detach the
+	// hook before draining so in-flight captures still verify.
+	var verifier *verify.Verifier
+	if *verifyRate > 0 {
+		verifier = verify.Attach(sh.mgr, verify.Config{
+			SampleRate: *verifyRate,
+			Seed:       *verifySeed,
+			Recorder:   rec,
+		})
+		defer func() {
+			sh.mgr.SetShadow(nil)
+			verifier.Stop()
+		}()
+	}
+
+	var sampler *obs.Sampler
+	sh.bundle = func() *verify.Bundle {
+		var advisorThunk func() any
+		if led != nil {
+			advisorThunk = func() any { return sh.advisorReport() }
+		}
+		var governorThunk func() any
+		if sh.gov != nil {
+			governorThunk = func() any { return sh.gov.Snapshot() }
+		}
+		var recyclerThunk func() any
+		if rc != nil {
+			recyclerThunk = func() any { return rc.Debug() }
+		}
+		return verify.Collect(verify.BundleSources{
+			Meta:     map[string]string{"binary": "aggsql", "dataset": *dataset},
+			Registry: sh.mgr.Metrics(),
+			Sampler:  sampler,
+			Events:   eventTail,
+			Recorder: rec,
+			Ledger:   led,
+			Advisor:  advisorThunk,
+			Shapes:   sh.mgr.Shapes(),
+			SLO:      sh.mgr.SLO(),
+			Governor: governorThunk,
+			Recycler: recyclerThunk,
+			Cache:    func() any { return sh.mgr.CacheDebug() },
+			Auditor:  sh.aud,
+			Verifier: verifier,
+		})
 	}
 
 	if *debugAddr != "" {
-		sampler := obs.NewSampler(sh.mgr.Metrics(), obs.SamplerConfig{Interval: *sample})
+		scfg := obs.SamplerConfig{Interval: *sample}
+		if sh.gov == nil {
+			// No governor: the sampler owns window rotation so the SLO
+			// error budgets and per-shape quantiles still advance.
+			scfg.Rotate = sh.mgr.RotateWindows
+		}
+		sampler = obs.NewSampler(sh.mgr.Metrics(), scfg)
 		sampler.Start()
 		defer sampler.Stop()
 		var advisorSource func() (any, string)
@@ -239,12 +330,14 @@ func main() {
 			Shapes:    sh.mgr.Shapes(),
 			Governor:  governor,
 			Recycler:  recyclerDump,
+			Audit:     func() any { return sh.aud.Last() },
+			Bundle:    func() any { return sh.bundle() },
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggsql: debug endpoint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug endpoint on http://%s/metrics, /debug/cache, /debug/series, /debug/traces, /debug/advisor, /debug/slo, /debug/shapes\n", addr)
+		fmt.Printf("debug endpoint on http://%s/ (index), /metrics, /debug/cache, /debug/series, /debug/traces, /debug/advisor, /debug/slo, /debug/shapes, /debug/audit, /debug/bundle\n", addr)
 	}
 
 	if *stmt != "" {
@@ -434,9 +527,11 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \recycler  \advisor  \stats  \slo  \shapes  \quit
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \recycler  \advisor  \stats  \slo  \shapes  \audit  \bundle  \quit
 \slo                        windowed SLO report and governor snapshot (-govern)
 \shapes                     per-query-shape profiles (rolling p50/p99, hit rate)
+\audit                      run the cache/recycler invariant auditor once
+\bundle [file]              write the one-shot diagnostics bundle as JSON
 \traces                     list flight-recorded query traces (newest first)
 \traces <id>                print one trace's span tree and critical path
 \traces export <id> <file>  write the trace as Chrome trace-event JSON (ui.perfetto.dev)
@@ -479,7 +574,13 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			}
 		}
 		start := time.Now()
-		if err := sh.insert(n); err != nil {
+		// Same write-lock discipline as the serve soak's writers: the
+		// background shadow verifier scans under the read lock, so delta
+		// appends must exclude it.
+		sh.db.Lock()
+		err := sh.insert(n)
+		sh.db.Unlock()
+		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			break
 		}
@@ -581,6 +682,40 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			break
 		}
 		sh.advisorReport().Render(os.Stdout)
+	case "\\audit":
+		rep := sh.aud.RunOnce()
+		status := "OK"
+		if !rep.OK {
+			status = fmt.Sprintf("%d VIOLATION(S)", len(rep.Violations))
+		}
+		fmt.Printf("audit pass %d: %s\n", rep.Passes, status)
+		fmt.Printf("  cache:    entries=%d bytes=%d (summed %d) watermark=%d ghosts=%d\n",
+			rep.Cache.Entries, rep.Cache.AccountedBytes, rep.Cache.SummedBytes,
+			rep.Cache.Watermark, rep.Cache.Ghosts)
+		if rep.Recycler != nil {
+			fmt.Printf("  recycler: partials=%d bytes=%d (summed %d) builds=%d stale-guards=%d\n",
+				rep.Recycler.Entries, rep.Recycler.AccountedBytes, rep.Recycler.SummedBytes,
+				rep.Recycler.BuildEntries, rep.Recycler.StaleGuards)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION: %s\n", v)
+		}
+	case "\\bundle":
+		path := "aggcache-bundle.json"
+		if len(fields) == 2 {
+			path = fields[1]
+		}
+		body, err := json.MarshalIndent(sh.bundle(), "", "  ")
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("wrote diagnostics bundle (schema v%d, %d bytes) to %s\n",
+			verify.BundleSchemaVersion, len(body), path)
 	case "\\traces":
 		sh.runTraces(fields[1:])
 	default:

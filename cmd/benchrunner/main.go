@@ -20,16 +20,27 @@
 //	benchrunner -debug :8080 ...     # serve /metrics, /debug/series, pprof
 //	benchrunner -sample 250ms ...    # time-series scrape interval
 //	benchrunner -events events.log   # structured event log ("-" = stderr)
+//	benchrunner -exp serve -verify-sample 0.05
+//	                                 # shadow-verify 5% of soak queries
+//	                                 # against the uncached oracle; the
+//	                                 # check/divergence tallies land in the
+//	                                 # soak section of BENCH_serve.json
+//	benchrunner -bundle-on-fail ...  # on experiment failure, write a
+//	                                 # diagnostics bundle (BUNDLE_<exp>.json
+//	                                 # in -out) before exiting nonzero
 //	benchrunner -list                # list experiment IDs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aggcache/internal/bench"
 	"aggcache/internal/obs"
+	"aggcache/internal/verify"
 )
 
 func main() {
@@ -49,6 +60,8 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		soak      = flag.Duration("soak", 0, "per-arm duration of the serve soak experiment (0 = experiment default)")
 		govern    = flag.Bool("govern", false, "run only the governed arm of the serve soak (skip the ungoverned control arm)")
+		verifyRt  = flag.Float64("verify-sample", 0, "fraction of serve-soak queries shadow-verified in the background against the uncached oracle; tallies land in the soak JSON")
+		bundleOnF = flag.Bool("bundle-on-fail", false, "write a diagnostics bundle (BUNDLE_<exp>.json in -out) when an experiment fails, before exiting nonzero")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -58,6 +71,7 @@ func main() {
 	bench.Recycle = *recycle
 	bench.SoakDuration = *soak
 	bench.SoakGovernedOnly = *govern
+	bench.VerifySample = *verifyRt
 	if *traceOut != "" {
 		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)
@@ -74,9 +88,11 @@ func main() {
 	}
 
 	// Install the event log before any experiment builds a database, so
-	// every layer picks it up through obs.Events().
+	// every layer picks it up through obs.Events(). The tee through the
+	// line tail feeds the failure bundle's event section.
+	eventTail := obs.NewLineTail(obs.DefaultTailLines)
 	if *events != "" {
-		w := os.Stderr
+		var w io.Writer = os.Stderr
 		if *events != "-" {
 			f, err := os.Create(*events)
 			if err != nil {
@@ -86,11 +102,12 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		obs.SetDefaultEvents(obs.NewEventLog(w))
+		obs.SetDefaultEvents(obs.NewEventLog(io.MultiWriter(w, eventTail)))
 	}
 
+	var sampler *obs.Sampler
 	if *debugAddr != "" {
-		sampler := obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
+		sampler = obs.NewSampler(obs.Default(), obs.SamplerConfig{Interval: *sample})
 		sampler.Start()
 		defer sampler.Stop()
 		addr, err := obs.ServeDebug(*debugAddr, obs.Default(), obs.DebugOptions{Sampler: sampler})
@@ -113,6 +130,31 @@ func main() {
 		todo = []bench.Experiment{e}
 	}
 
+	// failBundle snapshots the observability state into BUNDLE_<id>.json
+	// when -bundle-on-fail is set, so a failed run leaves a postmortem
+	// artifact behind (CI uploads it).
+	failBundle := func(id string) {
+		if !*bundleOnF {
+			return
+		}
+		b := verify.Collect(verify.BundleSources{
+			Meta:     map[string]string{"binary": "benchrunner", "experiment": id},
+			Registry: obs.Default(),
+			Sampler:  sampler,
+			Events:   eventTail,
+		})
+		path := fmt.Sprintf("%s/BUNDLE_%s.json", *outDir, id)
+		body, err := json.MarshalIndent(b, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, body, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: diagnostics bundle: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote diagnostics bundle %s\n", path)
+	}
+
 	for _, e := range todo {
 		// Each experiment reports into a clean registry so its JSON
 		// snapshot describes that experiment alone.
@@ -120,6 +162,7 @@ func main() {
 		res, err := e.Run(*quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
+			failBundle(e.ID)
 			os.Exit(1)
 		}
 		res.Render(os.Stdout)

@@ -10,6 +10,7 @@ import (
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
+	"aggcache/internal/verify"
 	"aggcache/internal/workload"
 )
 
@@ -22,6 +23,13 @@ var SoakDuration time.Duration
 // cmd/benchrunner sets it from -govern. CI uses it for the short
 // race-enabled soak, where the ungoverned control arm adds nothing.
 var SoakGovernedOnly bool
+
+// VerifySample attaches the online shadow verifier to both soak managers
+// at this sample rate; cmd/benchrunner sets it from -verify-sample. The
+// verifiers drain before arm stats are computed, and their check and
+// divergence tallies land in the arm's soak section — CI asserts zero
+// divergences on the governed soak.
+var VerifySample float64
 
 // serveParams sizes one soak run.
 type serveParams struct {
@@ -94,6 +102,13 @@ type SoakArm struct {
 	// DeltaRowsEnd is the governed tables' total delta backlog at the end.
 	Merges       int64 `json:"merges,omitempty"`
 	DeltaRowsEnd int64 `json:"delta_rows_end"`
+	// VerifyChecks/VerifyDivergences/VerifyDropped report the online
+	// shadow verifier when the soak runs with VerifySample > 0: sampled
+	// queries re-executed against the uncached oracle, confirmed
+	// mismatches (must stay zero), and captures shed under queue pressure.
+	VerifyChecks      int64 `json:"verify_checks,omitempty"`
+	VerifyDivergences int64 `json:"verify_divergences"`
+	VerifyDropped     int64 `json:"verify_dropped,omitempty"`
 }
 
 // SoakStats is the structured soak section of BENCH_serve.json.
@@ -163,6 +178,11 @@ func RunServe(quick bool) (*Result, error) {
 			label, arm.Queries, arm.QPS, arm.HitRate*100, arm.P50MS, arm.P99MS,
 			arm.SLOGoodFrac*100, arm.BurnLong, arm.WritesERP, arm.WritesCH,
 			arm.Merges, arm.DeltaRowsEnd))
+		if arm.VerifyChecks > 0 || arm.VerifyDivergences > 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s: shadow-verified %d queries, %d divergence(s), %d dropped",
+				label, arm.VerifyChecks, arm.VerifyDivergences, arm.VerifyDropped))
+		}
 	}
 	res.Soak = soak
 	return res, nil
@@ -221,6 +241,18 @@ func runServeArm(p serveParams, governed bool) (*SoakArm, []Series, error) {
 	for _, sq := range queries {
 		sq.q.Fingerprint()
 		sq.q.Shape()
+	}
+
+	// The shadow verifier rides the soak when enabled: a deterministic
+	// sample of client queries is re-executed against the uncached oracle
+	// in the background under the same pinned snapshot. The second
+	// (worker-count) oracle arm stays off here to keep the verification
+	// overhead within the perf gate's tolerance.
+	var verERP, verCH *verify.Verifier
+	if VerifySample > 0 {
+		vcfg := verify.Config{SampleRate: VerifySample, OracleWorkers: -1}
+		verERP = verify.Attach(mgrERP, vcfg)
+		verCH = verify.Attach(mgrCH, vcfg)
 	}
 
 	var govERP, govCH *core.Governor
@@ -350,6 +382,21 @@ func runServeArm(p serveParams, governed bool) (*SoakArm, []Series, error) {
 	}
 	elapsed := time.Since(start)
 
+	// Detach and drain the verifiers before reading their tallies (and
+	// after taking elapsed, so queued shadow work doesn't dilute QPS).
+	var verChecks, verDivergences, verDropped int64
+	if verERP != nil {
+		mgrERP.SetShadow(nil)
+		mgrCH.SetShadow(nil)
+		verERP.Stop()
+		verCH.Stop()
+		for _, st := range []verify.Status{verERP.Status(), verCH.Status()} {
+			verChecks += st.Checks
+			verDivergences += st.Divergences
+			verDropped += st.Dropped
+		}
+	}
+
 	// Exact quantiles from the client-observed samples, per slice and
 	// overall.
 	bySlice := make([][]int64, p.slices)
@@ -378,13 +425,16 @@ func runServeArm(p serveParams, governed bool) (*SoakArm, []Series, error) {
 	}
 
 	arm := &SoakArm{
-		Governed:  governed,
-		Queries:   int64(len(samples)),
-		QPS:       float64(len(samples)) / elapsed.Seconds(),
-		P50MS:     exactQuantileMS(all, 0.50),
-		P99MS:     exactQuantileMS(all, 0.99),
-		WritesERP: writesERP,
-		WritesCH:  writesCH,
+		Governed:          governed,
+		Queries:           int64(len(samples)),
+		QPS:               float64(len(samples)) / elapsed.Seconds(),
+		P50MS:             exactQuantileMS(all, 0.50),
+		P99MS:             exactQuantileMS(all, 0.99),
+		WritesERP:         writesERP,
+		WritesCH:          writesCH,
+		VerifyChecks:      verChecks,
+		VerifyDivergences: verDivergences,
+		VerifyDropped:     verDropped,
 	}
 	if len(samples) > 0 {
 		arm.HitRate = float64(hits) / float64(len(samples))

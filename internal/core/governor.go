@@ -65,6 +65,11 @@ type GovernorConfig struct {
 	// midpoint between the current split and the commit watermark. Tables
 	// must be co-partitioned on the same routing key, like Header/Item.
 	AgeHotRows int64
+	// Audit, when non-nil, runs on the window-rotation cadence from the
+	// governor tick — how a governed process drives the invariant auditor
+	// (verify.Auditor.RunOnce) without a second timer goroutine. It runs
+	// on the tick goroutine and must not call back into the governor.
+	Audit func()
 }
 
 // GovernorAction names what a tick did.
@@ -285,6 +290,9 @@ func (g *Governor) Tick(now time.Time) (GovernorAction, error) {
 	if g.lastRotate.IsZero() || now.Sub(g.lastRotate) >= g.cfg.Rotate {
 		g.m.RotateWindows()
 		g.lastRotate = now
+		if g.cfg.Audit != nil {
+			g.cfg.Audit()
+		}
 	}
 
 	s := g.readSignals()

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/expr"
@@ -151,9 +152,29 @@ type Manager struct {
 	// their subjoins — the telescoping that covers delta×delta cross terms,
 	// exactly as sequential offline merges would.
 	foldedActive map[string]bool
+	// shadow is the installed shadow-verification hook (SetShadow); read
+	// lock-free on the Execute path, nil when verification is off.
+	shadow atomic.Pointer[shadowBox]
 	// Evictions counts evicted entries (for introspection and tests).
 	Evictions int64
 }
+
+// ShadowHook observes sampled production executions for online shadow
+// verification (internal/verify). Core defines the interface so the verify
+// package can depend on core without a cycle.
+type ShadowHook interface {
+	// Sampled decides — cheaply and deterministically, on the serving
+	// goroutine — whether this execution should be shadow-verified.
+	Sampled(q *query.Query) bool
+	// Capture hands over one sampled execution: the served result (still
+	// unreturned, safe to render synchronously), its snapshot, and a pin
+	// release the hook now owns. Capture must not re-enter the manager's
+	// public Execute path synchronously.
+	Capture(q *query.Query, strat Strategy, snap txn.Snapshot, release func(), res *query.AggTable, info ExecInfo)
+}
+
+// shadowBox wraps the hook interface for atomic.Pointer storage.
+type shadowBox struct{ h ShadowHook }
 
 // foldKey identifies the merging partition a staged fold belongs to.
 type foldKey struct {
@@ -268,7 +289,78 @@ func (m *Manager) Execute(q *query.Query, strat Strategy) (*query.AggTable, Exec
 		sp.End()
 		m.rec.Record(sp)
 	}
+	m.shadowHandOff(q, strat, snap, res, info, err)
 	return res, info, err
+}
+
+// shadowHandOff offers a completed execution to the installed
+// shadow-verification hook. It must run before the serving pin releases:
+// the hook's nested Pin at the same watermark keeps the snapshot's row
+// versions reclaimable-proof for the background re-execution. Uncached
+// executions are skipped — they ARE the oracle.
+func (m *Manager) shadowHandOff(q *query.Query, strat Strategy, snap txn.Snapshot, res *query.AggTable, info ExecInfo, err error) {
+	if box := m.shadow.Load(); box != nil && err == nil && strat != Uncached && box.h.Sampled(q) {
+		box.h.Capture(q, strat, snap, m.db.Txns().Pin(snap), res, info)
+	}
+}
+
+// SetShadow installs (or, with nil, removes) the shadow-verification hook
+// observing public Execute calls. Safe to call while queries are in flight.
+func (m *Manager) SetShadow(h ShadowHook) {
+	if h == nil {
+		m.shadow.Store(nil)
+		return
+	}
+	m.shadow.Store(&shadowBox{h: h})
+}
+
+// Oracle re-executes q uncached against an explicit snapshot with its own
+// private executor — no cache, no recycler build tables, workers goroutines
+// (1 = strictly sequential, 0 = GOMAXPROCS) — under the database read lock.
+// It is the reference answer the shadow verifier diffs production results
+// against; the snapshot must still be pinned (see txn.Manager.Pin) so the
+// row versions it saw survive online merges. The execution is traced under
+// sp when non-nil.
+func (m *Manager) Oracle(q *query.Query, snap txn.Snapshot, workers int, sp *obs.Span) (*query.AggTable, query.Stats, error) {
+	arm := m.OracleArms(q, snap, []*obs.Span{sp}, workers)[0]
+	return arm.Rows, arm.Stats, arm.Err
+}
+
+// OracleArm is one uncached oracle re-execution at a fixed worker count.
+type OracleArm struct {
+	Workers int
+	Rows    *query.AggTable
+	Stats   query.Stats
+	Err     error
+}
+
+// OracleArms runs one Oracle execution per entry of workers — all under a
+// SINGLE database read-lock acquisition. Holding the lock across the arms
+// matters when the arms are compared against each other: a blocking merge
+// interleaved between two separate Oracle calls rewrites the physical
+// store layout, which legitimately changes prune/scan accounting (and so
+// Stats) while leaving the snapshot-visible rows identical. sps, when
+// non-nil, supplies one trace span per arm (entries may be nil).
+func (m *Manager) OracleArms(q *query.Query, snap txn.Snapshot, sps []*obs.Span, workers ...int) []OracleArm {
+	m.db.RLock()
+	defer m.db.RUnlock()
+	arms := make([]OracleArm, len(workers))
+	for i, w := range workers {
+		var sp *obs.Span
+		if i < len(sps) {
+			sp = sps[i]
+		}
+		ex := &query.Executor{DB: m.db, Workers: w}
+		rows, st, err := ex.ExecuteAllSpan(q, snap, sp)
+		arms[i] = OracleArm{Workers: w, Rows: rows, Stats: st, Err: err}
+	}
+	return arms
+}
+
+// Watermark reports the current commit watermark of the manager's
+// transaction layer — the auditor's monotonicity reference.
+func (m *Manager) Watermark() txn.TID {
+	return m.db.Txns().Watermark()
 }
 
 // PinSnapshot pins the current read snapshot against version reclamation
@@ -303,6 +395,7 @@ func (m *Manager) ExplainAnalyze(q *query.Query, strat Strategy) (*query.AggTabl
 	res, info, err := m.execute(q, snap, strat, sp)
 	sp.End()
 	m.rec.Record(sp)
+	m.shadowHandOff(q, strat, snap, res, info, err)
 	return res, info, sp, err
 }
 

@@ -59,16 +59,23 @@ const (
 	// OpCheck runs one query shape through every strategy and worker
 	// count and compares against the uncached oracle.
 	OpCheck
+	// OpCorrupt deterministically corrupts one cached aggregate partial in
+	// every manager (fault injection): the next check against the uncached
+	// oracle must catch the corruption. Generate never emits it — it exists
+	// for shadow-verification reproducer artifacts (internal/verify) and
+	// hand-written fault programs.
+	OpCorrupt
 	numOpKinds
 )
 
+var opKindNames = [numOpKinds]string{"insert", "update", "delete",
+	"merge-offline", "merge-online", "begin-merge", "finish-merge",
+	"abort-merge", "crash-merge", "age", "check", "corrupt"}
+
 // String names the op for failure reports.
 func (k OpKind) String() string {
-	names := []string{"insert", "update", "delete", "merge-offline",
-		"merge-online", "begin-merge", "finish-merge", "abort-merge",
-		"crash-merge", "age", "check"}
-	if int(k) < len(names) {
-		return names[k]
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -520,6 +527,16 @@ func (r *Runner) apply(op Op) error {
 
 	case OpCheck:
 		return r.check(op)
+
+	case OpCorrupt:
+		// Fault injection: perturb the same entry (chosen by seed over
+		// sorted keys) in every manager. The corruption is silent — only a
+		// later check's oracle comparison can catch it.
+		for _, m := range []*core.Manager{r.m1, r.m4, r.mr1, r.mr4} {
+			if m != nil {
+				m.CorruptEntryForVerify(op.A)
+			}
+		}
 	}
 	return nil
 }
@@ -690,4 +707,48 @@ func Format(seed int64, ops []Op) string {
 		fmt.Fprintf(&b, "%3d %-14s A=%d B=%d C=%d\n", i, op.Kind, op.A, op.B, op.C)
 	}
 	return b.String()
+}
+
+// ParseProgram is Format's inverse: it parses a persisted artifact back
+// into its seed and operation sequence, so a reproducer written by the
+// online shadow verifier (or a shrunk failure seed) replays with RunSeed.
+func ParseProgram(s string) (int64, []Op, error) {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) == 0 {
+		return 0, nil, fmt.Errorf("difftest: empty program")
+	}
+	var seed int64
+	var n int
+	if _, err := fmt.Sscanf(lines[0], "seed=%d ops=%d", &seed, &n); err != nil {
+		return 0, nil, fmt.Errorf("difftest: bad program header %q: %w", lines[0], err)
+	}
+	ops := make([]Op, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		f := strings.Fields(line)
+		if len(f) != 5 {
+			return 0, nil, fmt.Errorf("difftest: bad program line %q", line)
+		}
+		var op Op
+		kind := -1
+		for k, name := range opKindNames {
+			if name == f[1] {
+				kind = k
+				break
+			}
+		}
+		if kind < 0 {
+			return 0, nil, fmt.Errorf("difftest: unknown op kind %q", f[1])
+		}
+		op.Kind = OpKind(kind)
+		for i, dst := range []*int64{&op.A, &op.B, &op.C} {
+			if _, err := fmt.Sscanf(f[2+i], string("ABC"[i])+"=%d", dst); err != nil {
+				return 0, nil, fmt.Errorf("difftest: bad program field %q: %w", f[2+i], err)
+			}
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) != n {
+		return 0, nil, fmt.Errorf("difftest: program header claims %d ops, found %d", n, len(ops))
+	}
+	return seed, ops, nil
 }

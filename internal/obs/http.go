@@ -39,10 +39,18 @@ type DebugOptions struct {
 	// build tables with hit/top-up tallies); nil makes /debug/recycler a
 	// 404. A func so obs does not depend on the recycler package.
 	Recycler func() any
+	// Audit returns the invariant auditor's latest report (running an
+	// immediate pass if none has run); nil makes /debug/audit a 404. A
+	// func so obs does not depend on the verify package.
+	Audit func() any
+	// Bundle assembles the one-shot diagnostics bundle; nil makes
+	// /debug/bundle a 404. A func so obs does not depend on verify.
+	Bundle func() any
 }
 
 // DebugMux builds the debug HTTP surface:
 //
+//	/                   index of every registered debug endpoint
 //	/metrics            JSON snapshot of the registry
 //	/metrics?format=prom  the same snapshot in Prometheus text format
 //	/debug/series       sampler ring buffers as JSON (time series per metric)
@@ -59,6 +67,9 @@ type DebugOptions struct {
 //	/debug/traces?id=N&format=trace_event
 //	                    the same trace as Chrome trace-event JSON, ready for
 //	                    ui.perfetto.dev or chrome://tracing
+//	/debug/audit        invariant auditor report (byte accounting, watermark
+//	                    monotonicity, guard consistency, ghost sanity)
+//	/debug/bundle       one-shot diagnostics bundle (versioned JSON archive)
 //	/debug/pprof/...    standard net/http/pprof profiles
 //
 // Every introspection handler is GET-only (405 otherwise) and marked
@@ -191,6 +202,40 @@ func DebugMux(reg *Registry, opts DebugOptions) *http.ServeMux {
 		}
 		writeJSON(w, tr)
 	})
+	handle("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Audit == nil {
+			http.Error(w, "no auditor", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, opts.Audit())
+	})
+	handle("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Bundle == nil {
+			http.Error(w, "no bundle collector", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Disposition", `attachment; filename="aggcache-bundle.json"`)
+		writeJSON(w, opts.Bundle())
+	})
+	// The root path is the endpoint index: every registered surface with a
+	// one-line description, served as JSON (or plain text with
+	// ?format=text). ServeMux routes any otherwise-unmatched path to "/",
+	// so the handler 404s everything but the root itself.
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		idx := debugIndex(opts)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, e := range idx {
+				_, _ = w.Write([]byte(e.Path + "\t" + e.Description + "\n"))
+			}
+			return
+		}
+		writeJSON(w, idx)
+	})
 	// pprof keeps its own method semantics (symbol accepts POST), so it is
 	// wired directly rather than through handle.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -199,6 +244,34 @@ func DebugMux(reg *Registry, opts DebugOptions) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugEndpoint is one row of the /debug index: a registered path and what
+// it serves.
+type DebugEndpoint struct {
+	Path        string `json:"path"`
+	Description string `json:"description"`
+	// Enabled reports whether the endpoint's data source is wired in this
+	// process; disabled endpoints answer 404 (or an empty payload).
+	Enabled bool `json:"enabled"`
+}
+
+// debugIndex enumerates the mux's endpoints with availability derived from
+// the wired options — the "/" index payload.
+func debugIndex(opts DebugOptions) []DebugEndpoint {
+	return []DebugEndpoint{
+		{"/metrics", "registry snapshot as JSON; ?format=prom for Prometheus text", true},
+		{"/debug/series", "sampled metric time series; ?last=N trims each series", opts.Sampler != nil},
+		{"/debug/cache", "aggregate cache entries with profit metrics, by profit", opts.CacheDump != nil},
+		{"/debug/recycler", "second-level recycler cache: subjoin partials and build tables", opts.Recycler != nil},
+		{"/debug/slo", "SLO burn rates and budget, plus governor signals when governed", opts.SLO != nil || opts.Governor != nil},
+		{"/debug/shapes", "per-query-shape latency/compensation profiles, busiest first", opts.Shapes != nil},
+		{"/debug/advisor", "shadow-cache what-if report; ?format=text for aligned text", opts.Advisor != nil},
+		{"/debug/traces", "flight-recorder traces; ?id=N for one, &format=trace_event for Perfetto", opts.Recorder != nil},
+		{"/debug/audit", "cache/recycler invariant audit report (latest pass)", opts.Audit != nil},
+		{"/debug/bundle", "one-shot diagnostics bundle: metrics, series, traces, ledger, reports", opts.Bundle != nil},
+		{"/debug/pprof/", "standard net/http/pprof profiles", true},
+	}
 }
 
 // emptyAsList normalizes a nil value or nil slice to an empty list so

@@ -258,3 +258,88 @@ func TestDebugMuxNilSamplerAndDump(t *testing.T) {
 		}
 	}
 }
+
+// TestDebugIndexAndNewEndpoints covers the root index page and the
+// audit/bundle endpoints: the index lists every endpoint with its enabled
+// flag, non-root unknown paths 404, and the audit/bundle handlers serve
+// their payload thunks (404 when absent).
+func TestDebugIndexAndNewEndpoints(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), DebugOptions{
+		Audit:  func() any { return map[string]bool{"ok": true} },
+		Bundle: func() any { return map[string]int{"schema_version": 1} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index []DebugEndpoint
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byPath := make(map[string]DebugEndpoint, len(index))
+	for _, e := range index {
+		byPath[e.Path] = e
+	}
+	for _, path := range []string{"/metrics", "/debug/audit", "/debug/bundle", "/debug/pprof/"} {
+		if _, ok := byPath[path]; !ok {
+			t.Fatalf("index missing %s: %+v", path, index)
+		}
+	}
+	if !byPath["/debug/audit"].Enabled || byPath["/debug/advisor"].Enabled {
+		t.Fatalf("index enabled flags wrong: %+v", index)
+	}
+
+	// Unknown paths under / still 404.
+	resp, err = http.Get("http://" + addr + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"ok": true`) {
+		t.Fatalf("/debug/audit = %q", b)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "aggcache-bundle.json") {
+		t.Fatalf("bundle Content-Disposition = %q", cd)
+	}
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"schema_version": 1`) {
+		t.Fatalf("/debug/bundle = %q", b)
+	}
+
+	// Absent audit/bundle sources 404 (second mux on a fresh port).
+	addr2, err := ServeDebug("127.0.0.1:0", NewRegistry(), DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/audit", "/debug/bundle"} {
+		resp, err := http.Get("http://" + addr2 + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without a source = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

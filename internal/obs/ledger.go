@@ -50,6 +50,10 @@ const (
 	// DecisionRecycleEvict: a recycler partial was removed (see Reason:
 	// capacity, invalidated).
 	DecisionRecycleEvict
+	// DecisionVerifyMismatch: online shadow verification re-executed a
+	// sampled query against the uncached oracle and the answers diverged
+	// (see Reason: rows, worker-rows, or worker-stats).
+	DecisionVerifyMismatch
 	numDecisionKinds
 )
 
@@ -57,6 +61,7 @@ var decisionKindNames = [numDecisionKinds]string{
 	"hit", "miss", "rebuild", "bypass", "admit", "reject",
 	"evict", "invalidate", "compensate", "fold",
 	"recycle-hit", "recycle-topup", "recycle-admit", "recycle-evict",
+	"verify-mismatch",
 }
 
 // String names the decision kind; the names double as the JSON encoding.

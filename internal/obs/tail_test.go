@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestLineTailRetainsLastN(t *testing.T) {
+	lt := NewLineTail(3)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(lt, "line-%d\n", i)
+	}
+	if got := lt.Lines(); !reflect.DeepEqual(got, []string{"line-2", "line-3", "line-4"}) {
+		t.Fatalf("Lines() = %v", got)
+	}
+}
+
+func TestLineTailBuffersPartialWrites(t *testing.T) {
+	lt := NewLineTail(4)
+	lt.Write([]byte("hel"))
+	lt.Write([]byte("lo\nwor"))
+	if got := lt.Lines(); !reflect.DeepEqual(got, []string{"hello"}) {
+		t.Fatalf("Lines() with pending partial = %v", got)
+	}
+	lt.Write([]byte("ld\n"))
+	if got := lt.Lines(); !reflect.DeepEqual(got, []string{"hello", "world"}) {
+		t.Fatalf("Lines() = %v", got)
+	}
+}
+
+func TestLineTailNilSafe(t *testing.T) {
+	var lt *LineTail
+	if got := lt.Lines(); got != nil {
+		t.Fatalf("nil tail Lines() = %v", got)
+	}
+	if n, err := lt.Write([]byte("x\n")); n != 2 || err != nil {
+		t.Fatalf("nil tail Write = (%d, %v)", n, err)
+	}
+}

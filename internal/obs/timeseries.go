@@ -67,7 +67,19 @@ type SamplerConfig struct {
 	Interval time.Duration
 	// Capacity is the per-series ring size; 0 means DefaultSampleCapacity.
 	Capacity int
+	// Rotate, when non-nil, is invoked from the scrape loop every
+	// RotateEvery (DefaultRotateEvery when zero). Ungoverned processes
+	// wire core.Manager.RotateWindows here so the SLO tracker and
+	// per-shape quantiles keep rotating when no Governor runs; governed
+	// processes leave it nil (the Governor tick already rotates).
+	Rotate func()
+	// RotateEvery is the rotation cadence for Rotate.
+	RotateEvery time.Duration
 }
+
+// DefaultRotateEvery is the sampler-driven window-rotation cadence used
+// when SamplerConfig.Rotate is set without a RotateEvery.
+const DefaultRotateEvery = time.Second
 
 // Sampler defaults: one scrape per second, ten minutes of history.
 const (
@@ -89,10 +101,14 @@ type Sampler struct {
 	interval time.Duration
 	capacity int
 
-	mu     sync.Mutex
-	series map[string]*Ring
-	stop   chan struct{}
-	done   chan struct{}
+	rotate      func()
+	rotateEvery time.Duration
+
+	mu         sync.Mutex
+	series     map[string]*Ring
+	stop       chan struct{}
+	done       chan struct{}
+	lastRotate time.Time
 
 	// now is stubbed by tests.
 	now func() time.Time
@@ -106,12 +122,17 @@ func NewSampler(reg *Registry, cfg SamplerConfig) *Sampler {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultSampleCapacity
 	}
+	if cfg.RotateEvery <= 0 {
+		cfg.RotateEvery = DefaultRotateEvery
+	}
 	return &Sampler{
-		reg:      reg,
-		interval: cfg.Interval,
-		capacity: cfg.Capacity,
-		series:   make(map[string]*Ring),
-		now:      time.Now,
+		reg:         reg,
+		interval:    cfg.Interval,
+		capacity:    cfg.Capacity,
+		rotate:      cfg.Rotate,
+		rotateEvery: cfg.RotateEvery,
+		series:      make(map[string]*Ring),
+		now:         time.Now,
 	}
 }
 
@@ -156,8 +177,24 @@ func (s *Sampler) Stop() {
 }
 
 // SampleOnce takes one scrape immediately — the loop body, also usable
-// standalone (tests, a final flush before dumping).
+// standalone (tests, a final flush before dumping). When a Rotate hook is
+// configured it fires here on its own cadence, so a scraping sampler keeps
+// the SLO/shape windows fresh without a separate goroutine.
 func (s *Sampler) SampleOnce() {
+	if s.rotate != nil {
+		now := s.now()
+		s.mu.Lock()
+		due := s.lastRotate.IsZero() || now.Sub(s.lastRotate) >= s.rotateEvery
+		if due {
+			s.lastRotate = now
+		}
+		s.mu.Unlock()
+		if due {
+			// The rotation callback reaches into the manager; call it
+			// outside s.mu so a slow rotation never blocks Dump().
+			s.rotate()
+		}
+	}
 	snap := s.reg.Snapshot()
 	t := s.now().UnixMilli()
 	s.mu.Lock()

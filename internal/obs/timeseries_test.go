@@ -158,3 +158,35 @@ func TestSamplerHotPathAllocs(t *testing.T) {
 		t.Fatalf("hot path allocates %.1f per op with sampler running, want 0", allocs)
 	}
 }
+
+// TestSamplerRotates pins the ungoverned-process window rotation: a
+// sampler wired with a Rotate hook fires it on the RotateEvery cadence —
+// at most once per due interval, never more — so SLO windows and
+// per-shape quantiles rotate even when no governor runs.
+func TestSamplerRotates(t *testing.T) {
+	r := NewRegistry()
+	rotations := 0
+	s := NewSampler(r, SamplerConfig{
+		Interval:    time.Hour,
+		Capacity:    8,
+		Rotate:      func() { rotations++ },
+		RotateEvery: time.Second,
+	})
+	fake := time.UnixMilli(0)
+	s.now = func() time.Time { return fake }
+
+	s.SampleOnce() // first scrape seeds lastRotate and rotates once
+	if rotations != 1 {
+		t.Fatalf("rotations after first scrape = %d, want 1", rotations)
+	}
+	fake = fake.Add(500 * time.Millisecond)
+	s.SampleOnce() // not due yet
+	if rotations != 1 {
+		t.Fatalf("rotated before RotateEvery elapsed: %d", rotations)
+	}
+	fake = fake.Add(600 * time.Millisecond)
+	s.SampleOnce() // 1.1s since last rotation
+	if rotations != 2 {
+		t.Fatalf("rotations after due interval = %d, want 2", rotations)
+	}
+}

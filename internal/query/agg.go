@@ -379,6 +379,36 @@ func (a *AggTable) MergedRows(comp *AggTable) []Row {
 	return out
 }
 
+// Perturb deterministically corrupts one group — the fault-injection hook
+// behind shadow-verification testing. The victim group is chosen by seed
+// over the sorted group keys and one accumulator is bumped by a value large
+// enough to clear Equal's tolerance (the count when no accumulator exists).
+// It returns the corrupted group's encoded key, or "" for an empty table.
+// Production code never calls this; tests and the difftest "corrupt" op do.
+func (a *AggTable) Perturb(seed int64) string {
+	if len(a.groups) == 0 {
+		return ""
+	}
+	eks := make([]string, 0, len(a.groups))
+	for ek := range a.groups {
+		eks = append(eks, ek)
+	}
+	sort.Strings(eks)
+	if seed < 0 {
+		seed = -seed
+	}
+	ek := eks[seed%int64(len(eks))]
+	g := a.groups[ek]
+	// Bumping COUNT(*) always surfaces in finalized rows (Row.Count and
+	// AVG), regardless of the spec mix; a Sum/Avg accumulator is bumped too
+	// when one exists so SUM outputs shift as well.
+	g.count++
+	if len(g.sums) > 0 {
+		g.sums[seed%int64(len(g.sums))] += 1
+	}
+	return ek
+}
+
 // Equal reports whether two tables hold the same groups with numerically
 // close accumulators (tolerance for float summation order).
 func (a *AggTable) Equal(b *AggTable) bool {

@@ -1,0 +1,101 @@
+package recycler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aggcache/internal/table"
+	"aggcache/internal/txn"
+)
+
+// AuditReport is the result of one invariant pass over the recycler — the
+// recycler half of the /debug/audit payload. StaleGuards counts entries
+// whose guarded store was swapped out from under them; those are legal
+// (Lookup drops them lazily) but worth watching, so they are reported
+// separately from Violations.
+type AuditReport struct {
+	// UnixMS is the pass time.
+	UnixMS int64 `json:"unix_ms"`
+	// Entries/AccountedBytes are the partial pool's own bookkeeping;
+	// SummedBytes re-derives the footprint entry by entry.
+	Entries        int    `json:"entries"`
+	AccountedBytes uint64 `json:"accounted_bytes"`
+	SummedBytes    uint64 `json:"summed_bytes"`
+	// BuildEntries/BuildBytes snapshot the build-table pool.
+	BuildEntries int    `json:"build_entries"`
+	BuildBytes   uint64 `json:"build_bytes"`
+	// Watermark is the commit watermark the pass ran at.
+	Watermark uint64 `json:"watermark"`
+	// StaleGuards counts entries pending lazy invalidation: a guarded
+	// store pointer no longer resolves (merge swap or aging replaced it).
+	StaleGuards int `json:"stale_guards"`
+	// Violations lists every invariant breach found.
+	Violations []string `json:"violations"`
+}
+
+// Audit walks the partial pool checking the invariants Lookup relies on:
+//
+//   - byte accounting: Cache.bytes == Σ entry sizes (and the size field
+//     matches a recomputation from the entry's own value/key/guards)
+//   - watermark monotonicity: no partial claims a snapHigh beyond the
+//     commit watermark
+//   - guard consistency: for guards whose store pointer still resolves,
+//     the live invalidation counter never runs behind the guarded one
+//
+// The caller must hold the database read lock (guards resolve live
+// stores); wm is the commit watermark taken under it.
+func (c *Cache) Audit(db *table.DB, wm txn.TID) AuditReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := AuditReport{
+		UnixMS:         time.Now().UnixMilli(),
+		Entries:        len(c.entries),
+		AccountedBytes: c.bytes,
+		Watermark:      uint64(wm),
+		Violations:     []string{},
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		rep.SummedBytes += e.size
+		if want := entrySize(e.key, e.value, e.guards); want != e.size {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"entry %s: recorded size %d != recomputed %d", k, e.size, want))
+		}
+		if e.snapHigh > wm {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"entry %s: snapHigh %d ahead of watermark %d", k, e.snapHigh, wm))
+		}
+		stale := false
+		for _, g := range e.guards {
+			live := g.ref.Resolve(db)
+			if live != g.store {
+				stale = true
+				continue
+			}
+			if inv := live.Invalidations(); inv < g.inv {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"entry %s: store %s invalidation counter %d behind guard %d",
+					k, g.ref, inv, g.inv))
+			}
+		}
+		if stale {
+			rep.StaleGuards++
+		}
+	}
+	if rep.SummedBytes != c.bytes {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"byte accounting drift: Cache.bytes=%d, Σ entry sizes=%d",
+			c.bytes, rep.SummedBytes))
+	}
+	c.bmu.Lock()
+	rep.BuildEntries = len(c.builds)
+	rep.BuildBytes = c.buildBytes
+	c.bmu.Unlock()
+	return rep
+}

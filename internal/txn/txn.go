@@ -120,6 +120,32 @@ func (m *Manager) PinRead() (Snapshot, func()) {
 	return Snapshot{High: high}, release
 }
 
+// Pin registers an additional pin at s.High and returns its release
+// function (idempotent, any-goroutine safe, like PinRead's). It is the
+// snapshot hand-off primitive: a holder of a pinned snapshot may Pin it
+// again and pass the snapshot plus the new release to another goroutine —
+// the shadow verifier does this to keep re-executing a sampled query's
+// exact snapshot after the serving goroutine releases its own pin. Callers
+// must still hold a pin at s.High when calling; pinning an unpinned
+// historical snapshot would not resurrect row versions a merge already
+// reclaimed.
+func (m *Manager) Pin(s Snapshot) func() {
+	m.mu.Lock()
+	high := s.High
+	m.pins[high]++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if m.pins[high]--; m.pins[high] <= 0 {
+				delete(m.pins, high)
+			}
+			m.mu.Unlock()
+		})
+	}
+}
+
 // OldestPinned returns the reclamation horizon: the lowest watermark any
 // pinned read snapshot was taken at, or the current watermark when nothing
 // is pinned. A row version invalidated by a transaction with ID greater

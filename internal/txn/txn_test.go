@@ -149,3 +149,25 @@ func TestQuickSeesMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNestedPinHandOff covers the snapshot hand-off primitive behind the
+// shadow verifier: a nested Pin taken while a PinRead is held keeps the
+// snapshot pinned after the original read pin releases, and the returned
+// release function is idempotent.
+func TestNestedPinHandOff(t *testing.T) {
+	m := NewManager()
+	m.Begin().Commit()
+
+	snap, unpinRead := m.PinRead()
+	nested := m.Pin(snap)
+	unpinRead()
+	m.Begin().Commit() // advance the watermark past the pinned snapshot
+	if got := m.OldestPinned(); got != snap.High {
+		t.Fatalf("OldestPinned = %d after read unpin, want %d held by nested pin", got, snap.High)
+	}
+	nested()
+	nested() // idempotent
+	if got, wm := m.OldestPinned(), m.Watermark(); got != wm {
+		t.Fatalf("OldestPinned = %d after nested release, want watermark %d", got, wm)
+	}
+}

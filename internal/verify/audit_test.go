@@ -1,0 +1,99 @@
+package verify_test
+
+import (
+	"testing"
+	"time"
+
+	"aggcache/internal/core"
+	"aggcache/internal/difftest"
+	"aggcache/internal/obs"
+	"aggcache/internal/recycler"
+	"aggcache/internal/verify"
+	"aggcache/internal/workload"
+)
+
+// TestAuditorCleanPass populates a cache (with recycler) through real
+// executions and expects the invariant pass to come back clean, with the
+// audit.* metrics published.
+func TestAuditorCleanPass(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rc := recycler.New(recycler.Config{Metrics: reg})
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: reg, Recycler: rc})
+	for _, y := range []int{2012, 2013, 2014} {
+		for _, lang := range []string{"ENG", "GER"} {
+			if _, _, err := m.Execute(erp.ProfitQuery(y, lang), core.CachedFullPruning); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	a := verify.NewAuditor(m, verify.AuditorConfig{Metrics: reg})
+	rep := a.RunOnce()
+	if !rep.OK {
+		t.Fatalf("audit found violations on a healthy cache: %v", rep.Violations)
+	}
+	if rep.Cache.Entries == 0 {
+		t.Fatal("audit saw an empty cache — test did not exercise entries")
+	}
+	if rep.Cache.AccountedBytes != rep.Cache.SummedBytes {
+		t.Fatalf("byte accounting drift not flagged: %d vs %d",
+			rep.Cache.AccountedBytes, rep.Cache.SummedBytes)
+	}
+	if rep.Recycler == nil {
+		t.Fatal("recycler configured but its audit section is missing")
+	}
+	if rep.Passes != 1 {
+		t.Fatalf("passes = %d, want 1", rep.Passes)
+	}
+	if got := reg.Counter("audit.passes").Value(); got != 1 {
+		t.Fatalf("audit.passes = %d, want 1", got)
+	}
+	if got := reg.Gauge("audit.violations").Value(); got != 0 {
+		t.Fatalf("audit.violations = %d, want 0", got)
+	}
+
+	// Last returns the retained report without re-running.
+	if last := a.Last(); last.Passes != 1 {
+		t.Fatalf("Last re-ran the pass: passes = %d", last.Passes)
+	}
+}
+
+// TestAuditorLastRunsWhenEmpty checks the /debug/audit guarantee: Last on
+// a never-run auditor performs a pass instead of returning nothing.
+func TestAuditorLastRunsWhenEmpty(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: obs.NewRegistry()})
+	a := verify.NewAuditor(m, verify.AuditorConfig{})
+	if rep := a.Last(); rep.Passes != 1 || !rep.OK {
+		t.Fatalf("Last on fresh auditor: passes=%d ok=%v", rep.Passes, rep.OK)
+	}
+}
+
+// TestAuditorLoop smoke-tests the standalone Start/Stop cadence used by
+// ungoverned processes.
+func TestAuditorLoop(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: reg})
+	a := verify.NewAuditor(m, verify.AuditorConfig{Metrics: reg})
+	a.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("audit.passes").Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	if got := reg.Counter("audit.passes").Value(); got < 2 {
+		t.Fatalf("audit loop completed %d passes, want >= 2", got)
+	}
+	a.Stop() // double-Stop is a no-op
+}

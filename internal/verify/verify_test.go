@@ -1,0 +1,203 @@
+package verify_test
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"aggcache/internal/core"
+	"aggcache/internal/difftest"
+	"aggcache/internal/obs"
+	"aggcache/internal/verify"
+	"aggcache/internal/workload"
+)
+
+// TestShadowVerifyCleanRun drives sampled executions through the shadow
+// verifier on an uncorrupted cache: every check must come back clean.
+func TestShadowVerifyCleanRun(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: reg})
+	v := verify.Attach(m, verify.Config{SampleRate: 1, ArtifactDir: t.TempDir()})
+
+	q := erp.ProfitQuery(2012, "ENG")
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.Execute(q, core.CachedFullPruning); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetShadow(nil)
+	v.Stop()
+
+	st := v.Status()
+	if st.Checks != 3 {
+		t.Fatalf("checks = %d, want 3", st.Checks)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("divergences = %d on a clean cache: %+v", st.Divergences, st.LastDivergence)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending = %d after Stop", st.Pending)
+	}
+	if got := reg.Counter("verify.checks").Value(); got != 3 {
+		t.Fatalf("verify.checks = %d, want 3", got)
+	}
+}
+
+// TestShadowVerifySampling pins the deterministic sampler: rate 0 never
+// samples, and a fractional rate picks a repeatable subset without any
+// math/rand involvement.
+func TestShadowVerifySampling(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: obs.NewRegistry()})
+	q := erp.ProfitQuery(2012, "ENG")
+
+	count := func(rate float64, n int) int64 {
+		v := verify.New(m, verify.Config{SampleRate: rate, Seed: 42, Queue: n})
+		hits := 0
+		for i := 0; i < n; i++ {
+			if v.Sampled(q) {
+				hits++
+			}
+		}
+		v.Stop()
+		return int64(hits)
+	}
+	if got := count(0, 100); got != 0 {
+		t.Fatalf("rate 0 sampled %d executions", got)
+	}
+	a := count(0.2, 1000)
+	if a == 0 || a == 1000 {
+		t.Fatalf("rate 0.2 sampled %d/1000 — not a fraction", a)
+	}
+	if b := count(0.2, 1000); b != a {
+		t.Fatalf("sampling not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestShadowVerifyDivergenceReproducer is the fault-injection end-to-end:
+// corrupting one cached aggregate partial must trip shadow verification,
+// bump verify.divergences, emit a verify-mismatch ledger decision, and
+// persist a reproducer artifact whose embedded difftest program replays to
+// the same oracle mismatch via ParseProgram + RunSeed.
+func TestShadowVerifyDivergenceReproducer(t *testing.T) {
+	const seed = 7
+	erp, err := workload.BuildERP(difftest.SmallERP(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	led := obs.NewLedger(64)
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: reg, Ledger: led})
+
+	// The reproducer program mirrors what this test does live: warm the
+	// cache (check), corrupt one entry, re-check — the second check serves
+	// the corrupted partial and diverges from the oracle.
+	ops := []difftest.Op{
+		{Kind: difftest.OpCheck},
+		{Kind: difftest.OpCorrupt, A: 3},
+		{Kind: difftest.OpCheck},
+	}
+	dir := t.TempDir()
+	v := verify.Attach(m, verify.Config{
+		SampleRate:  1,
+		ArtifactDir: dir,
+		Reproducer:  func() (int64, string) { return seed, difftest.Format(seed, ops) },
+	})
+
+	q := erp.ProfitQuery(2012, "ENG")
+	if _, _, err := m.Execute(q, core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	if key := m.CorruptEntryForVerify(3); key == "" {
+		t.Fatal("no cache entry to corrupt")
+	}
+	if _, _, err := m.Execute(q, core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	m.SetShadow(nil)
+	v.Stop()
+
+	st := v.Status()
+	if st.Divergences == 0 {
+		t.Fatal("corrupted cache hit not caught by shadow verification")
+	}
+	if got := reg.Counter("verify.divergences").Value(); got == 0 {
+		t.Fatal("verify.divergences counter not bumped")
+	}
+	var mismatches int
+	for _, d := range led.Snapshot() {
+		if d.Kind == obs.DecisionVerifyMismatch {
+			mismatches++
+			if d.Reason != "rows" {
+				t.Fatalf("ledger mismatch reason = %q, want rows", d.Reason)
+			}
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("no verify-mismatch decision in ledger")
+	}
+
+	// The artifact must replay: parse its embedded program and run it
+	// through the difftest harness, expecting the same class of failure.
+	if st.LastDivergence == nil || st.LastDivergence.Artifact == "" {
+		t.Fatal("no reproducer artifact persisted")
+	}
+	body, err := os.ReadFile(st.LastDivergence.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d verify.Divergence
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if d.Reason != "rows" || d.Got == d.Want {
+		t.Fatalf("artifact divergence malformed: %+v", d)
+	}
+	pseed, pops, err := difftest.ParseProgram(d.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pseed != seed || len(pops) != len(ops) {
+		t.Fatalf("program round-trip: seed=%d ops=%d, want seed=%d ops=%d",
+			pseed, len(pops), seed, len(ops))
+	}
+	_, rerr := difftest.RunSeed(difftest.Config{ERP: difftest.SmallERP(pseed)}, pseed, pops)
+	if rerr == nil {
+		t.Fatal("replayed reproducer did not fail")
+	}
+	if !strings.Contains(rerr.Error(), "diverged from oracle") {
+		t.Fatalf("replayed reproducer failed differently: %v", rerr)
+	}
+}
+
+// TestShadowVerifyQueueShedding fills the queue beyond capacity and
+// checks that overflow captures are dropped (never blocking the serving
+// path) and their pins released.
+func TestShadowVerifyQueueShedding(t *testing.T) {
+	erp, err := workload.BuildERP(difftest.SmallERP(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := core.NewManager(erp.DB, erp.Reg, core.Config{Metrics: reg})
+	v := verify.New(m, verify.Config{SampleRate: 1, Queue: 1})
+	// Not attached: stop immediately so the worker drains nothing more,
+	// then capture through the closed verifier.
+	v.Stop()
+	m.SetShadow(v)
+	if _, _, err := m.Execute(erp.ProfitQuery(2012, "ENG"), core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	m.SetShadow(nil)
+	if got := reg.Counter("verify.dropped").Value(); got != 1 {
+		t.Fatalf("verify.dropped = %d, want 1", got)
+	}
+}
