@@ -8,6 +8,8 @@
 //
 //	aggsql                       # ERP dataset, interactive shell
 //	aggsql -dataset ch           # CH-benCHmark dataset
+//	aggsql -shards 4             # ERP range-sharded by header id; SELECTs
+//	                             # scatter-gather with cross-shard pruning
 //	aggsql -c "SELECT ..."       # one statement, then exit
 //
 // Shell commands:
@@ -16,6 +18,10 @@
 //	\strategy <name>     uncached | none | empty | full (default full)
 //	\insert <n>          insert n business objects / orders into the deltas
 //	\merge               synchronized delta merge of the transactional tables
+//	                     (per-shard, concurrent with -shards and -online-merge)
+//	\shards              cluster layout (-shards): per-shard key ranges,
+//	                     watermarks, store/cache sizes, and the scatter/prune
+//	                     counters
 //	\cache               show aggregate cache entries sorted by profit
 //	\recycler            show the second-level recycler cache (-recycle):
 //	                     subjoin partials with hit/top-up tallies and cached
@@ -68,8 +74,9 @@
 // /metrics (registry snapshot as JSON), /debug/cache (cache configuration,
 // eviction reasons, and entry metrics sorted by profit), /debug/recycler
 // (the recycler cache snapshot), /debug/advisor (the shadow-cache what-if
-// report), /debug/slo (the windowed SLO report and governor snapshot), and
-// /debug/shapes (the per-query-shape profiles).
+// report), /debug/slo (the windowed SLO report and governor snapshot),
+// /debug/shapes (the per-query-shape profiles), and — with -shards —
+// /debug/shards (the cluster layout snapshot).
 //
 // With -govern the metrics-driven maintenance governor runs in the
 // background: it watches delta growth, windowed compensation cost, and SLO
@@ -102,6 +109,7 @@ import (
 	"aggcache/internal/obs"
 	"aggcache/internal/query"
 	"aggcache/internal/recycler"
+	"aggcache/internal/shard"
 	"aggcache/internal/sql"
 	"aggcache/internal/table"
 	"aggcache/internal/verify"
@@ -114,6 +122,15 @@ type shell struct {
 	db       *table.DB
 	mgr      *core.Manager
 	strategy core.Strategy
+	// sharded is the scatter-gather plane when -shards > 1; SELECTs route
+	// through it instead of mgr (which then points at shard 0's manager,
+	// backing the single-manager debug surfaces). serp routes inserts to
+	// the owning shard.
+	sharded *shard.Sharded
+	serp    *workload.ShardedERP
+	// saud replaces aud in sharded mode: every shard audited independently
+	// plus cross-pass watermark monotonicity.
+	saud *verify.ShardAuditor
 	// insert grows the transactional deltas by n business objects.
 	insert func(n int) error
 	// mergeTables are the related transactional tables merged together.
@@ -132,6 +149,30 @@ type shell struct {
 	// bundle assembles the one-shot diagnostics bundle behind \bundle and
 	// /debug/bundle.
 	bundle func() *verify.Bundle
+}
+
+// insertSharded inserts n business objects, each under its owning shard's
+// writer lock (monotonic header ids route new objects to the last shard).
+func (sh *shell) insertSharded(n int) error {
+	for i := 0; i < n; i++ {
+		owner := sh.serp.Cluster.Shard(sh.serp.Cluster.ShardFor(sh.serp.NextHeaderID()))
+		owner.DB.Lock()
+		err := sh.serp.InsertBusinessObject(sh.serp.Cfg.ItemsPerHeader)
+		owner.DB.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditReport returns the latest invariant report from whichever auditor
+// this shell runs (per-shard cluster passes in sharded mode).
+func (sh *shell) auditReport() any {
+	if sh.saud != nil {
+		return sh.saud.Last()
+	}
+	return sh.aud.Last()
 }
 
 // advisorReport replays the shell's ledger through the shadow-cache
@@ -167,6 +208,7 @@ func main() {
 		verifyRate = flag.Float64("verify-sample", 0, "fraction of queries shadow-verified in the background against the uncached oracle (0 disables); divergences are counted, ledgered, and persisted as reproducer artifacts")
 		verifySeed = flag.Uint64("verify-seed", 0, "seed perturbing the deterministic shadow-verification sampler")
 		auditEvery = flag.Duration("audit", 0, "run the cache/recycler invariant auditor on this cadence (0 disables the standalone loop; with -govern audits ride the governor's rotation cadence regardless)")
+		nshards    = flag.Int("shards", 1, "range-shard the erp dataset by header id into this many shards; >1 runs every SELECT through the scatter-gather executor with cross-shard pruning (\\shards, /debug/shards); results are identical at every count")
 	)
 	flag.Parse()
 
@@ -207,7 +249,7 @@ func main() {
 		})
 	}
 
-	sh, err := load(*dataset, core.Config{
+	sh, err := load(*dataset, *nshards, core.Config{
 		Workers:       *workers,
 		Recorder:      rec,
 		Ledger:        led,
@@ -225,14 +267,30 @@ func main() {
 
 	// The invariant auditor backs \audit, /debug/audit, and the bundle's
 	// audit section; governed processes run it on the governor's rotation
-	// cadence, ungoverned ones on the -audit interval (or on demand).
-	sh.aud = verify.NewAuditor(sh.mgr, verify.AuditorConfig{})
+	// cadence, ungoverned ones on the -audit interval (or on demand). A
+	// sharded shell audits every shard independently instead.
+	if sh.sharded != nil {
+		sh.saud = verify.NewShardAuditor(sh.sharded, verify.AuditorConfig{})
+	} else {
+		sh.aud = verify.NewAuditor(sh.mgr, verify.AuditorConfig{})
+	}
 
 	// The governor owns the rolling-window rotation; without it the windows
 	// still fill but never rotate (the background sampler takes over below
 	// when -debug runs one). With -govern it also merges the transactional
-	// deltas when the signals say so, and carries the invariant audits.
-	if *govern {
+	// deltas when the signals say so, and carries the invariant audits. A
+	// sharded shell runs one governor per shard — each watches its own
+	// shard's delta growth and merges it online with no cross-shard pause.
+	switch {
+	case *govern && sh.sharded != nil:
+		sh.sharded.Govern(core.GovernorConfig{
+			Tables:        sh.mergeTables,
+			DeltaRowsHigh: 20000,
+			CompP99HighUS: 5000,
+		})
+		sh.sharded.StartGovernors()
+		defer sh.sharded.StopGovernors()
+	case *govern:
 		sh.gov = core.NewGovernor(sh.mgr, core.GovernorConfig{
 			Tables:        sh.mergeTables,
 			DeltaRowsHigh: 20000,
@@ -241,25 +299,42 @@ func main() {
 		})
 		sh.gov.Start()
 		defer sh.gov.Stop()
-	} else if *auditEvery > 0 {
+	case *auditEvery > 0 && sh.sharded != nil:
+		sh.saud.Start(*auditEvery)
+		defer sh.saud.Stop()
+	case *auditEvery > 0:
 		sh.aud.Start(*auditEvery)
 		defer sh.aud.Stop()
 	}
 
 	// The online shadow verifier re-executes a deterministic sample of
 	// queries against the uncached oracle in the background; detach the
-	// hook before draining so in-flight captures still verify.
+	// hook before draining so in-flight captures still verify. A sharded
+	// shell attaches one verifier per shard manager — a per-shard
+	// divergence is exactly a cluster divergence (the gather fold is
+	// additive), caught without re-running the whole scatter.
 	var verifier *verify.Verifier
 	if *verifyRate > 0 {
-		verifier = verify.Attach(sh.mgr, verify.Config{
+		vcfg := verify.Config{
 			SampleRate: *verifyRate,
 			Seed:       *verifySeed,
 			Recorder:   rec,
-		})
-		defer func() {
-			sh.mgr.SetShadow(nil)
-			verifier.Stop()
-		}()
+		}
+		if sh.sharded != nil {
+			vs := verify.AttachPerShard(sh.sharded, vcfg)
+			defer func() {
+				for _, m := range sh.sharded.Managers() {
+					m.SetShadow(nil)
+				}
+				verify.StopAll(vs)
+			}()
+		} else {
+			verifier = verify.Attach(sh.mgr, vcfg)
+			defer func() {
+				sh.mgr.SetShadow(nil)
+				verifier.Stop()
+			}()
+		}
 	}
 
 	var sampler *obs.Sampler
@@ -321,6 +396,10 @@ func main() {
 		if rc != nil {
 			recyclerDump = func() any { return rc.Debug() }
 		}
+		var shardsDump func() any
+		if sh.sharded != nil {
+			shardsDump = func() any { return sh.sharded.Snapshot() }
+		}
 		addr, err := obs.ServeDebug(*debugAddr, sh.mgr.Metrics(), obs.DebugOptions{
 			CacheDump: func() any { return sh.mgr.CacheDebug() },
 			Sampler:   sampler,
@@ -330,7 +409,8 @@ func main() {
 			Shapes:    sh.mgr.Shapes(),
 			Governor:  governor,
 			Recycler:  recyclerDump,
-			Audit:     func() any { return sh.aud.Last() },
+			Audit:     func() any { return sh.auditReport() },
+			Shards:    shardsDump,
 			Bundle:    func() any { return sh.bundle() },
 		})
 		if err != nil {
@@ -381,11 +461,40 @@ func main() {
 	}
 }
 
-func load(dataset string, mgrCfg core.Config) (*shell, error) {
+func load(dataset string, shards int, mgrCfg core.Config) (*shell, error) {
+	if shards > 1 && dataset != "erp" {
+		return nil, fmt.Errorf("-shards applies to the erp dataset only")
+	}
 	switch dataset {
 	case "erp":
 		cfg := workload.DefaultERPConfig()
 		cfg.Headers = 20000
+		if shards > 1 {
+			// Sharded shell: the same dataset range-partitioned by header id,
+			// one cache manager per shard, SELECTs scatter-gathered. Every
+			// shard's manager shares one registry (cluster totals) — the
+			// shard.* dispatch metrics land there too.
+			if mgrCfg.Metrics == nil {
+				mgrCfg.Metrics = obs.Default()
+			}
+			serp, err := workload.BuildShardedERP(cfg, shards)
+			if err != nil {
+				return nil, err
+			}
+			s := shard.New(serp.Cluster, shard.Config{Manager: mgrCfg, Metrics: mgrCfg.Metrics})
+			sh := &shell{
+				db:          serp.Cluster.Shard(0).DB,
+				mgr:         s.Manager(0),
+				sharded:     s,
+				serp:        serp,
+				strategy:    core.CachedFullPruning,
+				mergeTables: []string{workload.THeader, workload.TItem},
+				rec:         mgrCfg.Recorder,
+				led:         mgrCfg.Ledger,
+			}
+			sh.insert = sh.insertSharded
+			return sh, nil
+		}
 		erp, err := workload.BuildERP(cfg)
 		if err != nil {
 			return nil, err
@@ -434,6 +543,21 @@ func (sh *shell) runStatement(stmt string) error {
 	if err != nil {
 		return err
 	}
+	if sh.sharded != nil {
+		start := time.Now()
+		res, info, err := sh.sharded.Execute(st.Query, sh.strategy)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		printResult(st, res)
+		fmt.Printf("-- %d group(s) in %s [%s: scattered %d/%d shards (pruned %d: empty %d, md %d, scan %d), delta on %d shard(s), cache hits %d, subjoins %d/%d]\n",
+			res.Groups(), elapsed.Round(10*time.Microsecond), info.Strategy,
+			info.Scattered, sh.sharded.NumShards(), info.Pruned,
+			info.PrunedEmpty, info.PrunedMD, info.PrunedScan,
+			info.DeltaShards, info.CacheHits, info.Stats.Executed, info.Stats.Subjoins)
+		return nil
+	}
 	start := time.Now()
 	res, info, err := sh.mgr.Execute(st.Query, sh.strategy)
 	if err != nil {
@@ -465,6 +589,25 @@ func (sh *shell) runExplainAnalyze(stmt string) error {
 	st, err := sql.Parse(sh.db, stmt)
 	if err != nil {
 		return err
+	}
+	if sh.sharded != nil {
+		// Sharded explain: the scatter span carries the dispatch/prune
+		// verdict per shard; per-shard execution detail stays in each
+		// shard's own trace recorder.
+		sp := obs.StartSpan("scatter " + st.Query.Fingerprint())
+		res, info, err := sh.sharded.ExecuteSpan(st.Query, sh.strategy, sp)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		sp.Render(os.Stdout)
+		fmt.Printf("-- %d group(s) in %s [%s: scattered %d/%d shards (pruned %d: empty %d, md %d, scan %d), delta on %d shard(s), cache hits %d, subjoins %d/%d, rows scanned %d]\n",
+			res.Groups(), info.Total.Round(10*time.Microsecond), info.Strategy,
+			info.Scattered, sh.sharded.NumShards(), info.Pruned,
+			info.PrunedEmpty, info.PrunedMD, info.PrunedScan,
+			info.DeltaShards, info.CacheHits, info.Stats.Executed, info.Stats.Subjoins,
+			info.Stats.RowsScanned)
+		return nil
 	}
 	res, info, sp, err := sh.mgr.ExplainAnalyze(st.Query, sh.strategy)
 	if err != nil {
@@ -527,7 +670,8 @@ func (sh *shell) runCommand(cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\help":
-		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \cache  \recycler  \advisor  \stats  \slo  \shapes  \audit  \bundle  \quit
+		fmt.Println(`\tables  \strategy <uncached|none|empty|full>  \insert <n>  \merge  \shards  \cache  \recycler  \advisor  \stats  \slo  \shapes  \audit  \bundle  \quit
+\shards                     cluster layout and scatter/prune counters (-shards <n>)
 \slo                        windowed SLO report and governor snapshot (-govern)
 \shapes                     per-query-shape profiles (rolling p50/p99, hit rate)
 \audit                      run the cache/recycler invariant auditor once
@@ -537,6 +681,16 @@ func (sh *shell) runCommand(cmd string) bool {
 \traces export <id> <file>  write the trace as Chrome trace-event JSON (ui.perfetto.dev)
 EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 	case "\\tables":
+		if sh.sharded != nil {
+			for _, ss := range sh.sharded.Snapshot().PerShard {
+				fmt.Printf("shard %d [%d, %d):\n", ss.Index, ss.RangeLo, ss.RangeHi)
+				for _, ts := range ss.Tables {
+					fmt.Printf("  %-18s main=%8d  delta=%6d  partitions=%d\n",
+						ts.Name, ts.MainRows, ts.DeltaRows, ts.Partitions)
+				}
+			}
+			break
+		}
 		for _, name := range sh.db.TableNames() {
 			t := sh.db.MustTable(name)
 			main, delta := 0, 0
@@ -576,10 +730,16 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 		start := time.Now()
 		// Same write-lock discipline as the serve soak's writers: the
 		// background shadow verifier scans under the read lock, so delta
-		// appends must exclude it.
-		sh.db.Lock()
-		err := sh.insert(n)
-		sh.db.Unlock()
+		// appends must exclude it. Sharded inserts take each owning
+		// shard's lock inside insertSharded instead.
+		var err error
+		if sh.sharded != nil {
+			err = sh.insert(n)
+		} else {
+			sh.db.Lock()
+			err = sh.insert(n)
+			sh.db.Unlock()
+		}
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			break
@@ -588,7 +748,14 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 	case "\\merge":
 		start := time.Now()
 		merge, kind := sh.db.MergeTables, "merged"
-		if sh.onlineMerge {
+		if sh.sharded != nil {
+			// Sharded merges run per shard with no cross-shard pause; the
+			// online variant merges all shards concurrently.
+			merge, kind = sh.serp.Cluster.MergeTables, "merged (all shards)"
+			if sh.onlineMerge {
+				merge, kind = sh.serp.Cluster.MergeTablesOnlineConcurrent, "online-merged (all shards, concurrent)"
+			}
+		} else if sh.onlineMerge {
 			merge, kind = sh.db.MergeTablesOnline, "online-merged"
 		}
 		if err := merge(false, sh.mergeTables...); err != nil {
@@ -596,6 +763,27 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 			break
 		}
 		fmt.Printf("%s %s in %s\n", kind, strings.Join(sh.mergeTables, ", "), time.Since(start).Round(time.Millisecond))
+	case "\\shards":
+		if sh.sharded == nil {
+			fmt.Println("not sharded (run with -shards <n>)")
+			break
+		}
+		snap := sh.sharded.Snapshot()
+		fmt.Printf("shards=%d boundaries=%v\n", snap.Shards, snap.Boundaries)
+		fmt.Printf("queries=%d scattered=%d pruned=%d (empty=%d md=%d scan=%d) delta-single=%d/%d\n",
+			snap.Queries, snap.Scattered, snap.Pruned,
+			snap.PrunedEmpty, snap.PrunedMD, snap.PrunedScan,
+			snap.DeltaSingle, snap.Queries)
+		for _, ss := range snap.PerShard {
+			main, delta := 0, 0
+			for _, ts := range ss.Tables {
+				main += ts.MainRows
+				delta += ts.DeltaRows
+			}
+			fmt.Printf("  shard %d [%d, %d): watermark=%d main=%d delta=%d cache entries=%d bytes=%d\n",
+				ss.Index, ss.RangeLo, ss.RangeHi, ss.Watermark, main, delta,
+				ss.CacheEntries, ss.CacheBytes)
+		}
 	case "\\cache":
 		dbg := sh.mgr.CacheDebug()
 		fmt.Printf("entries=%d totalBytes=%d capacity=%d minProfit=%g\n",
@@ -683,6 +871,23 @@ EXPLAIN ANALYZE <select>;   trace one execution and print the span tree`)
 		}
 		sh.advisorReport().Render(os.Stdout)
 	case "\\audit":
+		if sh.saud != nil {
+			rep := sh.saud.RunOnce()
+			status := "OK"
+			if !rep.OK {
+				status = fmt.Sprintf("%d VIOLATION(S)", len(rep.Violations))
+			}
+			fmt.Printf("cluster audit pass %d: %s\n", rep.Passes, status)
+			for i, sr := range rep.PerShard {
+				fmt.Printf("  shard %d: watermark=%d entries=%d bytes=%d (summed %d) ghosts=%d\n",
+					i, rep.Watermarks[i], sr.Cache.Entries, sr.Cache.AccountedBytes,
+					sr.Cache.SummedBytes, sr.Cache.Ghosts)
+			}
+			for _, v := range rep.Violations {
+				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			break
+		}
 		rep := sh.aud.RunOnce()
 		status := "OK"
 		if !rep.OK {

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"aggcache/internal/bench"
 	"aggcache/internal/obs"
@@ -57,6 +59,7 @@ func main() {
 		online    = flag.Bool("online-merge", false, "run the experiments' delta merges as non-blocking online merges")
 		advise    = flag.Bool("advisor", false, "attach a cache decision ledger to the workload experiments and embed the shadow-cache what-if report (capacity/threshold sweeps, policies, tenant splits) into BENCH_<exp>.json")
 		recycle   = flag.Bool("recycle", false, "attach the second-level recycler cache (cross-query subjoin and build-table reuse) to the workload experiments' managers; results are identical, only timings change")
+		shards    = flag.String("shards", "", "comma-separated shard-count sweep for the shard experiment (e.g. 1,2,8); empty = experiment default; results are identical at every count")
 		traceOut  = flag.String("trace-out", "", "directory for per-point query traces as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		soak      = flag.Duration("soak", 0, "per-arm duration of the serve soak experiment (0 = experiment default)")
 		govern    = flag.Bool("govern", false, "run only the governed arm of the serve soak (skip the ungoverned control arm)")
@@ -69,6 +72,16 @@ func main() {
 	bench.OnlineMerge = *online
 	bench.Advisor = *advise
 	bench.Recycle = *recycle
+	if *shards != "" {
+		for _, part := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchrunner: -shards: bad count %q\n", part)
+				os.Exit(2)
+			}
+			bench.ShardCounts = append(bench.ShardCounts, n)
+		}
+	}
 	bench.SoakDuration = *soak
 	bench.SoakGovernedOnly = *govern
 	bench.VerifySample = *verifyRt

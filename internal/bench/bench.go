@@ -364,6 +364,7 @@ func All() []Experiment {
 		{ID: "ablate-sync", Title: "Merge synchronization ablation (Sec. 5.2)", Run: RunAblateMergeSync},
 		{ID: "ablate-negdelta", Title: "Negative-delta join compensation vs rebuild (Sec. 8 extension)", Run: RunAblateNegDelta},
 		{ID: "ablate-recycler", Title: "Second-level recycler cache: cross-query subjoin reuse vs full delta compensation", Run: RunAblateRecycler},
+		{ID: "shard", Title: "Horizontal sharding: scatter-gather with cross-shard pruning and tid-local deltas", Run: RunShard},
 		{ID: "serve", Title: "Closed-loop soak: sustained mixed traffic with SLO tracking and the maintenance governor", Run: RunServe},
 	}
 }

@@ -39,8 +39,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id found")
 	}
-	if len(All()) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(All()))
+	if len(All()) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(All()))
 	}
 }
 
@@ -215,6 +215,32 @@ func TestRunAblateRecyclerQuick(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("notes missing speedup/identity line: %v", r.Notes)
+	}
+}
+
+func TestRunShardQuick(t *testing.T) {
+	r, err := RunShard(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 3)
+	// Four shard counts per series, and full delta locality on the
+	// tid-local insert stream at every count (RunShard itself errors on any
+	// cross-count row divergence; speedup magnitudes are benchdiff-gated in
+	// CI, not asserted here where timer noise would flake).
+	for _, s := range r.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %s has %d points, want 4", s.Label, len(s.Points))
+		}
+	}
+	var locality int
+	for _, n := range r.Notes {
+		if strings.Contains(n, "single shard for 100%") {
+			locality++
+		}
+	}
+	if locality != 4 {
+		t.Fatalf("want 4 full delta-locality notes, got %d: %v", locality, r.Notes)
 	}
 }
 

@@ -1,9 +1,10 @@
-package core
+package core_test
 
 import (
 	"reflect"
 	"testing"
 
+	"aggcache/internal/core"
 	"aggcache/internal/query"
 	"aggcache/internal/workload"
 )
@@ -27,7 +28,7 @@ func TestWorkloadDeterminismAcrossWorkers(t *testing.T) {
 	type testCase struct {
 		name    string
 		queries map[string]*query.Query
-		mgr     func(workers int) *Manager
+		mgr     func(workers int) *core.Manager
 	}
 	var cases []testCase
 
@@ -54,7 +55,7 @@ func TestWorkloadDeterminismAcrossWorkers(t *testing.T) {
 			"profit":    erp.ProfitQuery(erpCfg.BaseYear+1, "ENG"),
 			"yearRange": erp.YearRangeQuery(erpCfg.BaseYear, erpCfg.BaseYear+erpCfg.Years),
 		},
-		mgr: func(w int) *Manager { return NewManager(erp.DB, erp.Reg, Config{Workers: w}) },
+		mgr: func(w int) *core.Manager { return core.NewManager(erp.DB, erp.Reg, core.Config{Workers: w}) },
 	})
 
 	chCfg := workload.CHConfig{
@@ -74,14 +75,14 @@ func TestWorkloadDeterminismAcrossWorkers(t *testing.T) {
 	cases = append(cases, testCase{
 		name:    "chbench",
 		queries: ch.Queries(),
-		mgr:     func(w int) *Manager { return NewManager(ch.DB, ch.Reg, Config{Workers: w}) },
+		mgr:     func(w int) *core.Manager { return core.NewManager(ch.DB, ch.Reg, core.Config{Workers: w}) },
 	})
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			for qname, q := range tc.queries {
 				t.Run(qname, func(t *testing.T) {
-					for _, strat := range Strategies() {
+					for _, strat := range core.Strategies() {
 						var base []workerRun
 						for _, workers := range []int{1, 8} {
 							mgr := tc.mgr(workers)

@@ -43,6 +43,11 @@ type DebugOptions struct {
 	// immediate pass if none has run); nil makes /debug/audit a 404. A
 	// func so obs does not depend on the verify package.
 	Audit func() any
+	// Shards returns the sharded deployment's layout snapshot (per-shard
+	// key ranges, watermarks, cache and store sizes); nil makes
+	// /debug/shards a 404. A func so obs does not depend on the shard
+	// package.
+	Shards func() any
 	// Bundle assembles the one-shot diagnostics bundle; nil makes
 	// /debug/bundle a 404. A func so obs does not depend on verify.
 	Bundle func() any
@@ -69,6 +74,8 @@ type DebugOptions struct {
 //	                    ui.perfetto.dev or chrome://tracing
 //	/debug/audit        invariant auditor report (byte accounting, watermark
 //	                    monotonicity, guard consistency, ghost sanity)
+//	/debug/shards       shard layout snapshot (per-shard key ranges,
+//	                    watermarks, store and cache sizes)
 //	/debug/bundle       one-shot diagnostics bundle (versioned JSON archive)
 //	/debug/pprof/...    standard net/http/pprof profiles
 //
@@ -209,6 +216,13 @@ func DebugMux(reg *Registry, opts DebugOptions) *http.ServeMux {
 		}
 		writeJSON(w, opts.Audit())
 	})
+	handle("/debug/shards", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Shards == nil {
+			http.Error(w, "not sharded", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, opts.Shards())
+	})
 	handle("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Bundle == nil {
 			http.Error(w, "no bundle collector", http.StatusNotFound)
@@ -269,6 +283,7 @@ func debugIndex(opts DebugOptions) []DebugEndpoint {
 		{"/debug/advisor", "shadow-cache what-if report; ?format=text for aligned text", opts.Advisor != nil},
 		{"/debug/traces", "flight-recorder traces; ?id=N for one, &format=trace_event for Perfetto", opts.Recorder != nil},
 		{"/debug/audit", "cache/recycler invariant audit report (latest pass)", opts.Audit != nil},
+		{"/debug/shards", "shard layout: per-shard key ranges, watermarks, store and cache sizes", opts.Shards != nil},
 		{"/debug/bundle", "one-shot diagnostics bundle: metrics, series, traces, ledger, reports", opts.Bundle != nil},
 		{"/debug/pprof/", "standard net/http/pprof profiles", true},
 	}

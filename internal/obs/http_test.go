@@ -267,6 +267,7 @@ func TestDebugIndexAndNewEndpoints(t *testing.T) {
 	addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), DebugOptions{
 		Audit:  func() any { return map[string]bool{"ok": true} },
 		Bundle: func() any { return map[string]int{"schema_version": 1} },
+		Shards: func() any { return map[string]int{"shards": 4} },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -285,7 +286,7 @@ func TestDebugIndexAndNewEndpoints(t *testing.T) {
 	for _, e := range index {
 		byPath[e.Path] = e
 	}
-	for _, path := range []string{"/metrics", "/debug/audit", "/debug/bundle", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/debug/audit", "/debug/bundle", "/debug/shards", "/debug/pprof/"} {
 		if _, ok := byPath[path]; !ok {
 			t.Fatalf("index missing %s: %+v", path, index)
 		}
@@ -314,6 +315,16 @@ func TestDebugIndexAndNewEndpoints(t *testing.T) {
 		t.Fatalf("/debug/audit = %q", b)
 	}
 
+	resp, err = http.Get("http://" + addr + "/debug/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"shards": 4`) {
+		t.Fatalf("/debug/shards = %q", b)
+	}
+
 	resp, err = http.Get("http://" + addr + "/debug/bundle")
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +343,7 @@ func TestDebugIndexAndNewEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"/debug/audit", "/debug/bundle"} {
+	for _, path := range []string{"/debug/audit", "/debug/bundle", "/debug/shards"} {
 		resp, err := http.Get("http://" + addr2 + path)
 		if err != nil {
 			t.Fatal(err)

@@ -89,6 +89,12 @@ func (e *Executor) ParallelWorkers(n int) int {
 //
 // On error, stats are folded in job order up to and including the first
 // failing job and that job's error is returned.
+//
+// shard.ExecuteSpan layers the same invariant one level up: per-shard
+// results are folded in ascending shard order, so a sharded cluster is
+// byte-identical to the unsharded database at every (shard count x worker
+// count). Changing the fold discipline here breaks both oracles
+// (TestWorkloadDeterminismAcrossWorkers and the difftest shard mode).
 func (e *Executor) ExecuteJobs(q *Query, jobs []ComboJob, snap txn.Snapshot, out *AggTable, st *Stats, onDone func(i int, jst *Stats, sub *AggTable)) error {
 	if len(jobs) == 0 {
 		return nil

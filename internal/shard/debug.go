@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"aggcache/internal/txn"
+)
+
+// TableSnapshot is one table's row layout on one shard.
+type TableSnapshot struct {
+	Name       string `json:"name"`
+	MainRows   int    `json:"main_rows"`
+	DeltaRows  int    `json:"delta_rows"`
+	Partitions int    `json:"partitions"`
+}
+
+// ShardSnapshot is one shard's slice of the /debug/shards payload.
+type ShardSnapshot struct {
+	Index int `json:"index"`
+	// RangeLo/RangeHi bound the routing keys the shard owns (open ends
+	// reported at the int64 extremes).
+	RangeLo   int64           `json:"range_lo"`
+	RangeHi   int64           `json:"range_hi"`
+	Watermark txn.TID         `json:"watermark"`
+	Tables    []TableSnapshot `json:"tables"`
+	// CacheEntries/CacheBytes describe the shard's private aggregate-cache
+	// namespace.
+	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   uint64 `json:"cache_bytes"`
+}
+
+// Snapshot is the /debug/shards payload (and the \shards shell dump): the
+// cluster layout plus the scatter-gather counters.
+type Snapshot struct {
+	Shards     int     `json:"shards"`
+	Boundaries []int64 `json:"boundaries"`
+	// Dispatch counters from the shard.* namespace.
+	Queries     int64           `json:"queries"`
+	Scattered   int64           `json:"scattered"`
+	Pruned      int64           `json:"pruned"`
+	PrunedEmpty int64           `json:"pruned_empty"`
+	PrunedMD    int64           `json:"pruned_md"`
+	PrunedScan  int64           `json:"pruned_scan"`
+	DeltaSingle int64           `json:"delta_single"`
+	DeltaShards int64           `json:"delta_shards"`
+	PerShard    []ShardSnapshot `json:"per_shard"`
+}
+
+// Snapshot renders the cluster layout and dispatch counters.
+func (s *Sharded) Snapshot() Snapshot {
+	snap := Snapshot{
+		Shards:      s.NumShards(),
+		Boundaries:  s.cluster.Router().Boundaries(),
+		Queries:     s.obs.queries.Value(),
+		Scattered:   s.obs.scattered.Value(),
+		Pruned:      s.obs.pruned.Value(),
+		PrunedEmpty: s.obs.prunedEmpty.Value(),
+		PrunedMD:    s.obs.prunedMD.Value(),
+		PrunedScan:  s.obs.prunedScan.Value(),
+		DeltaSingle: s.obs.deltaSingle.Value(),
+		DeltaShards: s.obs.deltaShards.Value(),
+	}
+	for i, sh := range s.cluster.Shards() {
+		sh.DB.RLock()
+		ss := ShardSnapshot{
+			Index:        i,
+			Watermark:    sh.DB.Txns().Watermark(),
+			CacheEntries: s.mgrs[i].Len(),
+			CacheBytes:   s.mgrs[i].SizeBytes(),
+		}
+		ss.RangeLo, ss.RangeHi = s.cluster.Router().Range(i)
+		for _, name := range sh.DB.TableNames() {
+			t := sh.DB.MustTable(name)
+			ts := TableSnapshot{Name: name, Partitions: len(t.Partitions())}
+			for _, p := range t.Partitions() {
+				ts.MainRows += p.Main.Rows()
+				ts.DeltaRows += p.Delta.Rows()
+				if p.Delta2 != nil {
+					ts.DeltaRows += p.Delta2.Rows()
+				}
+			}
+			ss.Tables = append(ss.Tables, ts)
+		}
+		sh.DB.RUnlock()
+		snap.PerShard = append(snap.PerShard, ss)
+	}
+	return snap
+}

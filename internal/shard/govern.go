@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"time"
+
+	"aggcache/internal/core"
+)
+
+// Govern attaches one maintenance governor per shard from the template
+// config. Each governor watches only its shard's delta growth, windowed
+// compensation cost, and SLO burn, and triggers online merges of that
+// shard alone — shard maintenance never pauses the others.
+func (s *Sharded) Govern(cfg core.GovernorConfig) {
+	s.govs = s.govs[:0]
+	for _, m := range s.mgrs {
+		s.govs = append(s.govs, core.NewGovernor(m, cfg))
+	}
+}
+
+// Governors lists the per-shard governors (nil before Govern).
+func (s *Sharded) Governors() []*core.Governor { return append([]*core.Governor(nil), s.govs...) }
+
+// TickAll fans one deterministic governor tick per shard concurrently —
+// one goroutine per shard, no cross-shard coordination. A tick that
+// decides to merge runs that shard's MergeOnline while the other shards
+// keep ticking and serving: there is no global pause. Actions are
+// returned in shard order; the first error (if any) is reported.
+func (s *Sharded) TickAll(now time.Time) ([]core.GovernorAction, error) {
+	actions := make([]core.GovernorAction, len(s.govs))
+	errs := make([]error, len(s.govs))
+	done := make(chan struct{}, len(s.govs))
+	for i, g := range s.govs {
+		go func(i int, g *core.Governor) {
+			actions[i], errs[i] = g.Tick(now)
+			done <- struct{}{}
+		}(i, g)
+	}
+	for range s.govs {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return actions, err
+		}
+	}
+	return actions, nil
+}
+
+// StartGovernors launches every shard governor's background loop.
+func (s *Sharded) StartGovernors() {
+	for _, g := range s.govs {
+		g.Start()
+	}
+}
+
+// StopGovernors halts the background loops.
+func (s *Sharded) StopGovernors() {
+	for _, g := range s.govs {
+		g.Stop()
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shard_test
+
+const raceEnabled = false

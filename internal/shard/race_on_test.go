@@ -1,0 +1,7 @@
+//go:build race
+
+package shard_test
+
+// raceEnabled loosens timing assertions when the race detector's
+// synchronization serialization distorts latencies; see soak_test.go.
+const raceEnabled = true

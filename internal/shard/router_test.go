@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestRouterBoundaryEdges pins the half-open range semantics at the exact
+// boundary keys: a key equal to a boundary belongs to the shard above it.
+func TestRouterBoundaryEdges(t *testing.T) {
+	t.Parallel()
+	r, err := NewRouter([]int64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{math.MinInt64, 0}, {0, 0}, {9, 0},
+		{10, 1}, {15, 1}, {19, 1},
+		{20, 2}, {21, 2}, {math.MaxInt64, 2},
+	}
+	for _, c := range cases {
+		if got := r.Route(c.key); got != c.want {
+			t.Errorf("Route(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if lo, hi := r.Range(0); lo != math.MinInt64 || hi != 10 {
+		t.Errorf("Range(0) = [%d, %d), want [MinInt64, 10)", lo, hi)
+	}
+	if lo, hi := r.Range(1); lo != 10 || hi != 20 {
+		t.Errorf("Range(1) = [%d, %d), want [10, 20)", lo, hi)
+	}
+	if lo, hi := r.Range(2); lo != 20 || hi != math.MaxInt64 {
+		t.Errorf("Range(2) = [%d, %d), want [20, MaxInt64)", lo, hi)
+	}
+}
+
+// TestRouterSingleShard checks the degenerate empty boundary list: one
+// shard owning everything.
+func TestRouterSingleShard(t *testing.T) {
+	t.Parallel()
+	r, err := NewRouter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", r.Shards())
+	}
+	for _, key := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		if got := r.Route(key); got != 0 {
+			t.Errorf("Route(%d) = %d, want 0", key, got)
+		}
+	}
+}
+
+// TestNewRouterRejectsNonAscending rejects equal and descending boundaries.
+func TestNewRouterRejectsNonAscending(t *testing.T) {
+	t.Parallel()
+	for _, bs := range [][]int64{{5, 5}, {10, 5}, {1, 2, 2}} {
+		if _, err := NewRouter(bs); err == nil {
+			t.Errorf("NewRouter(%v) accepted non-ascending boundaries", bs)
+		}
+	}
+}
+
+// TestEvenBoundaries checks the bulk-load layout helper: the right count,
+// strictly ascending, and degenerate ranges still produce a valid router.
+func TestEvenBoundaries(t *testing.T) {
+	t.Parallel()
+	for _, c := range []struct {
+		lo, hi int64
+		shards int
+	}{
+		{1, 100, 4}, {1, 7, 8}, {1, 1, 3}, {0, 1 << 40, 16}, {5, 5, 2},
+	} {
+		bs := EvenBoundaries(c.lo, c.hi, c.shards)
+		if len(bs) != c.shards-1 {
+			t.Fatalf("EvenBoundaries(%d,%d,%d): %d boundaries, want %d",
+				c.lo, c.hi, c.shards, len(bs), c.shards-1)
+		}
+		if !sort.SliceIsSorted(bs, func(i, j int) bool { return bs[i] < bs[j] }) {
+			t.Fatalf("EvenBoundaries(%d,%d,%d) not sorted: %v", c.lo, c.hi, c.shards, bs)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i] == bs[i-1] {
+				t.Fatalf("EvenBoundaries(%d,%d,%d) has duplicate %d", c.lo, c.hi, c.shards, bs[i])
+			}
+		}
+		if _, err := NewRouter(bs); err != nil {
+			t.Fatalf("EvenBoundaries(%d,%d,%d) rejected by NewRouter: %v", c.lo, c.hi, c.shards, err)
+		}
+	}
+	if bs := EvenBoundaries(1, 100, 1); bs != nil {
+		t.Errorf("EvenBoundaries(..., 1 shard) = %v, want nil", bs)
+	}
+	if bs := EvenBoundaries(100, 1, 4); bs != nil {
+		t.Errorf("EvenBoundaries(hi<lo) = %v, want nil", bs)
+	}
+}
+
+// TestRouterKeysLandInOwnRange is the range/route consistency property over
+// a spread of keys: every key routes to the shard whose Range contains it.
+func TestRouterKeysLandInOwnRange(t *testing.T) {
+	t.Parallel()
+	r, err := NewRouter(EvenBoundaries(1, 10000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := int64(-100); key <= 10200; key += 7 {
+		i := r.Route(key)
+		lo, hi := r.Range(i)
+		if key < lo || (key >= hi && hi != math.MaxInt64) {
+			t.Fatalf("Route(%d) = %d but Range(%d) = [%d, %d)", key, i, i, lo, hi)
+		}
+	}
+}
+
+// FuzzRoute fuzzes the router with derived boundary sets: for any strictly
+// ascending boundaries and any key, the routed shard's range must contain
+// the key, and adjacent keys across a boundary must land on adjacent
+// shards.
+func FuzzRoute(f *testing.F) {
+	f.Add(int64(10), int64(20), int64(30), int64(15))
+	f.Add(int64(0), int64(1), int64(2), int64(1))
+	f.Add(int64(-5), int64(0), int64(5), int64(math.MinInt64))
+	f.Add(int64(1), int64(1), int64(1), int64(math.MaxInt64))
+	f.Add(int64(100), int64(50), int64(-3), int64(50))
+	f.Fuzz(func(t *testing.T, a, b, c, key int64) {
+		raw := []int64{a, b, c}
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		var bs []int64
+		for _, v := range raw {
+			if len(bs) == 0 || v > bs[len(bs)-1] {
+				bs = append(bs, v)
+			}
+		}
+		r, err := NewRouter(bs)
+		if err != nil {
+			t.Fatalf("NewRouter(%v) rejected deduplicated sorted boundaries: %v", bs, err)
+		}
+		i := r.Route(key)
+		if i < 0 || i >= r.Shards() {
+			t.Fatalf("Route(%d) = %d out of [0, %d)", key, i, r.Shards())
+		}
+		lo, hi := r.Range(i)
+		if key < lo || (key >= hi && hi != math.MaxInt64) {
+			t.Fatalf("Route(%d) = %d but Range(%d) = [%d, %d)", key, i, i, lo, hi)
+		}
+		// Crossing a boundary from below moves exactly one shard up.
+		for bi, bv := range bs {
+			if bv == math.MinInt64 {
+				continue
+			}
+			below, at := r.Route(bv-1), r.Route(bv)
+			if at != bi+1 || below > at || at-below > 1 {
+				t.Fatalf("boundary %d: Route(%d)=%d Route(%d)=%d", bv, bv-1, below, bv, at)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aggcache/internal/obs"
+	"aggcache/internal/shard"
+	"aggcache/internal/txn"
+)
+
+// AttachPerShard installs one shadow verifier on every shard manager of a
+// sharded deployment and returns them in shard order. Each verifier
+// re-executes its own shard's sampled executions against that shard's
+// uncached oracle — the scatter-gather fold is additively mergeable, so a
+// per-shard divergence is exactly a cluster divergence, caught without
+// re-running the whole scatter. The template config is cloned per shard;
+// when it names no Metrics registry each verifier publishes verify.* into
+// its shard manager's private registry.
+func AttachPerShard(s *shard.Sharded, cfg Config) []*Verifier {
+	vs := make([]*Verifier, 0, s.NumShards())
+	for _, m := range s.Managers() {
+		vs = append(vs, Attach(m, cfg))
+	}
+	return vs
+}
+
+// StopAll drains and halts verifiers in shard order.
+func StopAll(vs []*Verifier) {
+	for _, v := range vs {
+		v.Stop()
+	}
+}
+
+// ShardAuditReport is one cluster-wide invariant pass: every shard audited
+// independently, plus the cross-shard watermark-monotonicity check.
+type ShardAuditReport struct {
+	UnixMS int64 `json:"unix_ms"`
+	Passes int64 `json:"passes"`
+	// OK is true when no shard reported a violation.
+	OK bool `json:"ok"`
+	// PerShard holds each shard's full audit report in shard order (byte
+	// accounting, entry watermarks, invalidation baselines, ghost list).
+	PerShard []AuditReport `json:"per_shard"`
+	// Watermarks are the per-shard commit watermarks observed by this pass.
+	Watermarks []txn.TID `json:"watermarks"`
+	// Violations merges all shards' findings, each prefixed "shard N:",
+	// plus any cross-pass watermark regressions.
+	Violations []string `json:"violations"`
+}
+
+// ShardAuditor audits every shard of a cluster independently — each shard's
+// byte accounting and cache invariants are checked by that shard's own
+// Auditor against that shard's own watermark — and additionally asserts
+// each shard's commit watermark never moves backwards between passes
+// (shards advance independently; none may regress).
+type ShardAuditor struct {
+	s    *shard.Sharded
+	auds []*Auditor
+
+	passes     *obs.Counter // shard_audit.passes — completed cluster passes
+	violations *obs.Gauge   // shard_audit.violations — findings in the latest pass
+
+	mu      sync.Mutex
+	lastWMs []txn.TID
+	last    *ShardAuditReport
+	stop    chan struct{}
+	done    chan struct{}
+	ticker  *time.Ticker
+}
+
+// NewShardAuditor builds per-shard auditors (publishing audit.* into each
+// shard manager's registry) plus the cluster-level counters in the sharded
+// deployment's scatter-gather registry.
+func NewShardAuditor(s *shard.Sharded, cfg AuditorConfig) *ShardAuditor {
+	a := &ShardAuditor{
+		s:          s,
+		passes:     s.Metrics().Counter("shard_audit.passes"),
+		violations: s.Metrics().Gauge("shard_audit.violations"),
+	}
+	for _, m := range s.Managers() {
+		a.auds = append(a.auds, NewAuditor(m, cfg))
+	}
+	return a
+}
+
+// RunOnce executes one cluster pass: every shard audited in shard order,
+// then the watermark-monotonicity comparison against the previous pass.
+func (a *ShardAuditor) RunOnce() ShardAuditReport {
+	rep := ShardAuditReport{
+		UnixMS:     time.Now().UnixMilli(),
+		Violations: []string{},
+	}
+	for i, aud := range a.auds {
+		sr := aud.RunOnce()
+		rep.PerShard = append(rep.PerShard, sr)
+		for _, v := range sr.Violations {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("shard %d: %s", i, v))
+		}
+	}
+	rep.Watermarks = a.s.Cluster().Watermarks()
+
+	a.mu.Lock()
+	for i, wm := range rep.Watermarks {
+		if i < len(a.lastWMs) && wm < a.lastWMs[i] {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"shard %d: watermark moved backwards across passes: %d -> %d",
+				i, a.lastWMs[i], wm))
+		}
+	}
+	a.lastWMs = append(a.lastWMs[:0], rep.Watermarks...)
+	rep.OK = len(rep.Violations) == 0
+	a.passes.Inc()
+	a.violations.Set(int64(len(rep.Violations)))
+	rep.Passes = a.passes.Value()
+	a.last = &rep
+	a.mu.Unlock()
+	return rep
+}
+
+// Last returns the most recent cluster report, running a pass first if none
+// has completed yet.
+func (a *ShardAuditor) Last() ShardAuditReport {
+	a.mu.Lock()
+	last := a.last
+	a.mu.Unlock()
+	if last != nil {
+		return *last
+	}
+	return a.RunOnce()
+}
+
+// Start launches the standalone cluster-audit loop.
+func (a *ShardAuditor) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultAuditInterval
+	}
+	a.mu.Lock()
+	if a.stop != nil {
+		a.mu.Unlock()
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	a.ticker = time.NewTicker(interval)
+	stop, done, tick := a.stop, a.done, a.ticker
+	a.mu.Unlock()
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				a.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop (no-op when Start was never called).
+func (a *ShardAuditor) Stop() {
+	a.mu.Lock()
+	stop, done, tick := a.stop, a.done, a.ticker
+	a.stop, a.done, a.ticker = nil, nil, nil
+	a.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	tick.Stop()
+	<-done
+}

@@ -1,0 +1,175 @@
+package verify_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggcache/internal/core"
+	"aggcache/internal/difftest"
+	"aggcache/internal/obs"
+	"aggcache/internal/shard"
+	"aggcache/internal/verify"
+	"aggcache/internal/workload"
+)
+
+func buildShardedFixture(t *testing.T, seed int64, shards int) (*workload.ShardedERP, *shard.Sharded) {
+	t.Helper()
+	serp, err := workload.BuildShardedERP(difftest.SmallERP(seed), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shard.New(serp.Cluster, shard.Config{
+		Manager: core.Config{Workers: 2},
+		Metrics: obs.NewRegistry(),
+	})
+	return serp, s
+}
+
+// TestShardAuditorCleanPasses runs cluster-wide invariant passes over a
+// healthy 2-shard deployment: every shard audited independently, watermarks
+// captured per shard, and a second pass after writes sees only forward
+// watermark motion.
+func TestShardAuditorCleanPasses(t *testing.T) {
+	serp, s := buildShardedFixture(t, 21, 2)
+	q := serp.ItemRevenueQuery()
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Execute(q, core.CachedFullPruning); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a := verify.NewShardAuditor(s, verify.AuditorConfig{})
+	rep := a.RunOnce()
+	if !rep.OK {
+		t.Fatalf("clean cluster failed audit: %v", rep.Violations)
+	}
+	if len(rep.PerShard) != 2 {
+		t.Fatalf("PerShard reports = %d, want 2", len(rep.PerShard))
+	}
+	for i, sr := range rep.PerShard {
+		if !sr.OK {
+			t.Fatalf("shard %d audit not OK: %v", i, sr.Violations)
+		}
+	}
+	if len(rep.Watermarks) != 2 {
+		t.Fatalf("Watermarks = %v, want 2 entries", rep.Watermarks)
+	}
+
+	// Writes advance the last shard's watermark (monotonic header IDs route
+	// there); the next pass must stay OK and never see regression.
+	if err := serp.InsertBusinessObjects(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Execute(q, core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	rep2 := a.RunOnce()
+	if !rep2.OK {
+		t.Fatalf("cluster failed audit after writes: %v", rep2.Violations)
+	}
+	for i := range rep2.Watermarks {
+		if rep2.Watermarks[i] < rep.Watermarks[i] {
+			t.Fatalf("shard %d watermark regressed across passes: %d -> %d",
+				i, rep.Watermarks[i], rep2.Watermarks[i])
+		}
+	}
+	if rep2.Watermarks[1] <= rep.Watermarks[1] {
+		t.Fatalf("last shard watermark did not advance after inserts: %v -> %v",
+			rep.Watermarks, rep2.Watermarks)
+	}
+	if rep2.Passes != 2 {
+		t.Fatalf("Passes = %d, want 2", rep2.Passes)
+	}
+	if got := s.Metrics().Counter("shard_audit.passes").Value(); got != 2 {
+		t.Fatalf("shard_audit.passes = %d, want 2", got)
+	}
+	if got := s.Metrics().Gauge("shard_audit.violations").Value(); got != 0 {
+		t.Fatalf("shard_audit.violations = %d, want 0", got)
+	}
+	if last := a.Last(); last.Passes != rep2.Passes {
+		t.Fatalf("Last() returned pass %d, want %d", last.Passes, rep2.Passes)
+	}
+}
+
+// TestPerShardVerifyDivergenceReproducer is the sharded fault-injection
+// end-to-end: corrupt exactly one shard's cached aggregate partial, and the
+// per-shard shadow verifier on that shard — not the others — must catch the
+// divergence during a normal scatter-gather execution, persisting a
+// reproducer artifact whose embedded difftest program replays to a failure
+// through BOTH the unsharded harness (RunSeed) and the shard-transparency
+// harness (RunShardSeed).
+func TestPerShardVerifyDivergenceReproducer(t *testing.T) {
+	const seed = 23
+	serp, s := buildShardedFixture(t, seed, 2)
+
+	ops := []difftest.Op{
+		{Kind: difftest.OpCheck, A: 3, B: 1},
+		{Kind: difftest.OpCorrupt, A: seed},
+		{Kind: difftest.OpCheck, A: 3, B: 1},
+	}
+	dir := t.TempDir()
+	vs := verify.AttachPerShard(s, verify.Config{
+		SampleRate:  1,
+		ArtifactDir: dir,
+		Reproducer:  func() (int64, string) { return seed, difftest.Format(seed, ops) },
+	})
+	if len(vs) != 2 {
+		t.Fatalf("AttachPerShard returned %d verifiers, want 2", len(vs))
+	}
+
+	// Warm every shard's cache through the scatter plane, then corrupt only
+	// shard 0's cached partial.
+	q := serp.ItemRevenueQuery()
+	if _, _, err := s.Execute(q, core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	if key := s.Manager(0).CorruptEntryForVerify(seed); key == "" {
+		t.Fatal("no cache entry to corrupt on shard 0")
+	}
+	if _, _, err := s.Execute(q, core.CachedFullPruning); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		s.Manager(i).SetShadow(nil)
+	}
+	verify.StopAll(vs)
+
+	if st := vs[0].Status(); st.Divergences == 0 {
+		t.Fatal("corrupted shard 0 partial not caught by its shadow verifier")
+	}
+	if st := vs[1].Status(); st.Divergences != 0 {
+		t.Fatalf("healthy shard 1 reported %d divergences: %+v",
+			st.Divergences, st.LastDivergence)
+	}
+
+	// The artifact must replay through both harnesses: the corruption is a
+	// logical cache fault, visible at any shard count including one.
+	arts, err := filepath.Glob(filepath.Join(dir, "verify-*.json"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no reproducer artifact in %s (err=%v)", dir, err)
+	}
+	body, err := os.ReadFile(arts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d verify.Divergence
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	pseed, pops, err := difftest.ParseProgram(d.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pseed != seed || len(pops) != len(ops) {
+		t.Fatalf("program round-trip: seed=%d ops=%d, want seed=%d ops=%d",
+			pseed, len(pops), seed, len(ops))
+	}
+	if _, rerr := difftest.RunSeed(difftest.Config{ERP: difftest.SmallERP(pseed)}, pseed, pops); rerr == nil {
+		t.Fatal("reproducer did not fail under the unsharded harness")
+	}
+	if _, rerr := difftest.RunShardSeed(difftest.ShardConfig{ERP: difftest.SmallERP(pseed)}, pseed, pops); rerr == nil {
+		t.Fatal("reproducer did not fail under the shard-transparency harness")
+	}
+}

@@ -7,10 +7,8 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 
 	"aggcache/internal/column"
-	"aggcache/internal/expr"
 	"aggcache/internal/md"
 	"aggcache/internal/query"
 	"aggcache/internal/table"
@@ -59,6 +57,22 @@ func DefaultERPConfig() ERPConfig {
 	}
 }
 
+// normalizeERPConfig validates and defaults a config; shared by the
+// unsharded and sharded builders so both generators see identical
+// parameters.
+func normalizeERPConfig(cfg ERPConfig) (ERPConfig, error) {
+	if cfg.Headers < 0 || cfg.ItemsPerHeader <= 0 || cfg.Categories <= 0 || len(cfg.Languages) == 0 {
+		return cfg, fmt.Errorf("workload: invalid ERP config %+v", cfg)
+	}
+	if cfg.Years <= 0 {
+		cfg.Years = 1
+	}
+	if cfg.BaseYear == 0 {
+		cfg.BaseYear = 2010
+	}
+	return cfg, nil
+}
+
 // ERP is a generated ERP database: schema, matching dependencies, loaded
 // main stores, and an insert stream for growing the deltas.
 type ERP struct {
@@ -66,13 +80,7 @@ type ERP struct {
 	Reg *md.Registry
 	Cfg ERPConfig
 
-	rng        *rand.Rand
-	nextHeader int64
-	nextItem   int64
-	// catTID records the insertion TID of each category's language rows so
-	// the generator can fill Item's tidCategory column (all language
-	// variants of a category are inserted in one transaction and share it).
-	catTID map[int64]txn.TID
+	gen *erpGen
 }
 
 // Table and column names of the ERP schema.
@@ -82,77 +90,12 @@ const (
 	TCategory = "ProductCategory"
 )
 
-// BuildERP creates the schema, registers the Header-Item matching
-// dependency, loads the dimension, and bulk-loads the configured number of
-// business objects into the main stores.
-func BuildERP(cfg ERPConfig) (*ERP, error) {
-	if cfg.Headers < 0 || cfg.ItemsPerHeader <= 0 || cfg.Categories <= 0 || len(cfg.Languages) == 0 {
-		return nil, fmt.Errorf("workload: invalid ERP config %+v", cfg)
-	}
-	if cfg.Years <= 0 {
-		cfg.Years = 1
-	}
-	if cfg.BaseYear == 0 {
-		cfg.BaseYear = 2010
-	}
-	db := table.Open()
-	e := &ERP{
-		DB:         db,
-		Reg:        md.NewRegistry(db),
-		Cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		nextHeader: 1,
-		nextItem:   1,
-		catTID:     make(map[int64]txn.TID),
-	}
-
-	// The payload columns (document number, users, cost centers,
-	// materials, plants, ...) stand in for the dozens of descriptive
-	// attributes of real financial-accounting tables; without them the
-	// relative footprint of the tid columns would be overstated.
-	headerSchema := table.Schema{
-		Name: THeader,
-		Cols: []table.ColumnDef{
-			{Name: "HeaderID", Kind: column.Int64},
-			{Name: "FiscalYear", Kind: column.Int64},
-			{Name: "Region", Kind: column.String},
-			{Name: "DocNumber", Kind: column.String},
-			{Name: "CreatedBy", Kind: column.String},
-			{Name: "CompanyCode", Kind: column.String},
-			{Name: "TidHeader", Kind: column.Int64},
-		},
-		PK: "HeaderID",
-	}
-	itemSchema := table.Schema{
-		Name: TItem,
-		Cols: []table.ColumnDef{
-			{Name: "ItemID", Kind: column.Int64},
-			{Name: "HeaderID", Kind: column.Int64},
-			{Name: "CategoryID", Kind: column.Int64},
-			{Name: "Price", Kind: column.Float64},
-			{Name: "Quantity", Kind: column.Int64},
-			{Name: "Material", Kind: column.String},
-			{Name: "Plant", Kind: column.String},
-			{Name: "CostCenter", Kind: column.String},
-			{Name: "Account", Kind: column.String},
-			{Name: "Unit", Kind: column.String},
-			{Name: "TidItem", Kind: column.Int64},
-			{Name: "TidHeader", Kind: column.Int64},
-			{Name: "TidCategory", Kind: column.Int64},
-		},
-		PK: "ItemID",
-	}
-	catSchema := table.Schema{
-		Name: TCategory,
-		Cols: []table.ColumnDef{
-			{Name: "CatRowID", Kind: column.Int64},
-			{Name: "CategoryID", Kind: column.Int64},
-			{Name: "Name", Kind: column.String},
-			{Name: "Language", Kind: column.String},
-			{Name: "TidCategory", Kind: column.Int64},
-		},
-		PK: "CatRowID",
-	}
+// createERPSchema creates the three tables (hot/cold-partitioning Header
+// and Item when coldShare > 0) and registers the Header-Item matching
+// dependency. Shared by the unsharded builder and every shard of the
+// sharded one.
+func createERPSchema(db *table.DB, reg *md.Registry, cfg ERPConfig) error {
+	headerSchema, itemSchema, catSchema := erpSchemas()
 
 	// The dimension always lives in a single partition; header and item may
 	// be hot/cold partitioned on the header tid (insertion time).
@@ -165,65 +108,54 @@ func BuildERP(cfg ERPConfig) (*ERP, error) {
 			{Name: "hot", Lo: splitTID, Hi: 1 << 62},
 		}
 		if _, err := db.CreatePartitioned(headerSchema, "TidHeader", ranges); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := db.CreatePartitioned(itemSchema, "TidHeader", ranges); err != nil {
-			return nil, err
+			return err
 		}
 	} else {
 		if _, err := db.Create(headerSchema); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := db.Create(itemSchema); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if _, err := db.Create(catSchema); err != nil {
-		return nil, err
+		return err
 	}
 
-	if err := e.Reg.Add(md.MD{
+	return reg.Add(md.MD{
 		Parent: THeader, ParentPK: "HeaderID", ParentTID: "TidHeader",
 		Child: TItem, ChildFK: "HeaderID", ChildTID: "TidHeader",
-	}); err != nil {
+	})
+}
+
+// BuildERP creates the schema, registers the Header-Item matching
+// dependency, loads the dimension, and bulk-loads the configured number of
+// business objects into the main stores.
+func BuildERP(cfg ERPConfig) (*ERP, error) {
+	cfg, err := normalizeERPConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-
-	if err := e.loadDimension(); err != nil {
+	db := table.Open()
+	e := &ERP{
+		DB:  db,
+		Reg: md.NewRegistry(db),
+		Cfg: cfg,
+		gen: newERPGen(cfg),
+	}
+	if err := createERPSchema(e.DB, e.Reg, cfg); err != nil {
+		return nil, err
+	}
+	if err := e.gen.loadDimensionInto(e.DB); err != nil {
 		return nil, err
 	}
 	if err := e.bulkLoadObjects(cfg.Headers); err != nil {
 		return nil, err
 	}
 	return e, nil
-}
-
-// loadDimension inserts the category rows (one per language, all variants
-// of a category in one transaction) and merges them into main — settled
-// master data with an empty delta, per the workload patterns of Sec. 3.
-func (e *ERP) loadDimension() error {
-	cat := e.DB.MustTable(TCategory)
-	rowID := int64(1)
-	for c := 1; c <= e.Cfg.Categories; c++ {
-		tx := e.DB.Txns().Begin()
-		e.catTID[int64(c)] = tx.ID()
-		for _, lang := range e.Cfg.Languages {
-			vals := []column.Value{
-				column.IntV(rowID),
-				column.IntV(int64(c)),
-				column.StrV(fmt.Sprintf("Category-%04d-%s", c, lang)),
-				column.StrV(lang),
-				column.IntV(int64(tx.ID())),
-			}
-			rowID++
-			if _, err := cat.Insert(tx, vals); err != nil {
-				tx.Abort()
-				return err
-			}
-		}
-		tx.Commit()
-	}
-	return e.DB.MergeTables(false, TCategory)
 }
 
 // bulkLoadObjects loads n business objects straight into the main stores
@@ -245,15 +177,15 @@ func (e *ERP) bulkLoadObjects(n int) error {
 	for k := 0; k < n; k++ {
 		tid := base + txn.TID(k) + 1
 		year := e.Cfg.BaseYear + k*e.Cfg.Years/n
-		hid := e.nextHeader
-		e.nextHeader++
-		hrow := e.headerRow(hid, year, tid)
-		part := e.partitionFor(hdrTable, hrow)
+		hid := e.gen.nextHeader
+		e.gen.nextHeader++
+		hrow := e.gen.headerRow(hid, year, tid)
+		part := partitionFor(hdrTable, hrow)
 		hdrRowsByPart[part] = append(hdrRowsByPart[part], hrow)
 		hdrTIDsByPart[part] = append(hdrTIDsByPart[part], tid)
 		for j := 0; j < e.Cfg.ItemsPerHeader; j++ {
 			// TidItem and TidHeader are both the object's insertion TID.
-			irow := e.itemRow(hid, tid, tid)
+			irow := e.gen.itemRow(hid, tid, tid)
 			itemRowsByPart[part] = append(itemRowsByPart[part], irow)
 			itemTIDsByPart[part] = append(itemTIDsByPart[part], tid)
 		}
@@ -273,48 +205,6 @@ func (e *ERP) bulkLoadObjects(n int) error {
 	return nil
 }
 
-var (
-	regions      = []string{"EMEA", "AMER", "APAC"}
-	companyCodes = []string{"1000", "2000", "3000"}
-	units        = []string{"EA", "KG", "M", "L"}
-)
-
-// headerRow builds one header row.
-func (e *ERP) headerRow(hid int64, year int, tid txn.TID) []column.Value {
-	return []column.Value{
-		column.IntV(hid),
-		column.IntV(int64(year)),
-		column.StrV(regions[int(hid)%len(regions)]),
-		column.StrV(fmt.Sprintf("DOC-%09d", hid)),
-		column.StrV(fmt.Sprintf("user-%03d", e.rng.Intn(500))),
-		column.StrV(companyCodes[int(hid)%len(companyCodes)]),
-		column.IntV(int64(tid)),
-	}
-}
-
-// itemRow builds one item row; tidHeader 0 leaves the MD column for
-// FillChildTIDs to enforce.
-func (e *ERP) itemRow(hid int64, tidItem, tidHeader txn.TID) []column.Value {
-	catID := 1 + e.rng.Int63n(int64(e.Cfg.Categories))
-	row := []column.Value{
-		column.IntV(e.nextItem),
-		column.IntV(hid),
-		column.IntV(catID),
-		column.FloatV(float64(1 + e.rng.Intn(1000))),
-		column.IntV(1 + e.rng.Int63n(50)),
-		column.StrV(fmt.Sprintf("MAT-%05d", e.rng.Intn(5000))),
-		column.StrV(fmt.Sprintf("P%02d", e.rng.Intn(20))),
-		column.StrV(fmt.Sprintf("CC-%04d", e.rng.Intn(300))),
-		column.StrV(fmt.Sprintf("ACC-%05d", e.rng.Intn(1000))),
-		column.StrV(units[e.rng.Intn(len(units))]),
-		column.IntV(int64(tidItem)),
-		column.IntV(int64(tidHeader)),
-		column.IntV(int64(e.catTID[catID])),
-	}
-	e.nextItem++
-	return row
-}
-
 // ItemCol resolves an Item column name to its schema index; benchmark
 // drivers use it to fill tid columns without hard-coding positions.
 func (e *ERP) ItemCol(name string) int {
@@ -323,7 +213,7 @@ func (e *ERP) ItemCol(name string) int {
 
 // partitionFor routes a row the same way Insert would; single-partition
 // tables always return 0.
-func (e *ERP) partitionFor(t *table.Table, vals []column.Value) int {
+func partitionFor(t *table.Table, vals []column.Value) int {
 	parts := t.Partitions()
 	if len(parts) == 1 {
 		return 0
@@ -342,17 +232,17 @@ func (e *ERP) partitionFor(t *table.Table, vals []column.Value) int {
 // looked up from the header) — the insert pattern of Sec. 3.2.
 func (e *ERP) InsertBusinessObject(items int) error {
 	tx := e.DB.Txns().Begin()
-	hid := e.nextHeader
-	e.nextHeader++
+	hid := e.gen.nextHeader
+	e.gen.nextHeader++
 	year := e.Cfg.BaseYear + e.Cfg.Years - 1 // new objects belong to the current year
-	hvals := e.headerRow(hid, year, tx.ID())
+	hvals := e.gen.headerRow(hid, year, tx.ID())
 	if _, err := e.DB.MustTable(THeader).Insert(tx, hvals); err != nil {
 		tx.Abort()
 		return err
 	}
 	for j := 0; j < items; j++ {
 		// TidHeader is left zero for the MD enforcement to fill.
-		ivals := e.itemRow(hid, tx.ID(), 0)
+		ivals := e.gen.itemRow(hid, tx.ID(), 0)
 		if err := e.Reg.FillChildTIDs(TItem, ivals); err != nil {
 			tx.Abort()
 			return err
@@ -380,77 +270,34 @@ func (e *ERP) InsertBusinessObjects(n int) error {
 // ProfitQuery is the paper's Listing 1: profit per product category for one
 // fiscal year, in one language.
 func (e *ERP) ProfitQuery(year int, language string) *query.Query {
-	return &query.Query{
-		Tables: []string{THeader, TItem, TCategory},
-		Joins: []query.JoinEdge{
-			{Left: query.ColRef{Table: THeader, Col: "HeaderID"}, Right: query.ColRef{Table: TItem, Col: "HeaderID"}},
-			{Left: query.ColRef{Table: TItem, Col: "CategoryID"}, Right: query.ColRef{Table: TCategory, Col: "CategoryID"}},
-		},
-		Filters: map[string]expr.Pred{
-			THeader:   expr.Cmp{Col: "FiscalYear", Op: expr.Eq, Val: column.IntV(int64(year))},
-			TCategory: expr.Cmp{Col: "Language", Op: expr.Eq, Val: column.StrV(language)},
-		},
-		GroupBy: []query.ColRef{{Table: TCategory, Col: "Name"}},
-		Aggs: []query.AggSpec{
-			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Profit"},
-		},
-	}
+	return erpProfitQuery(year, language)
 }
 
 // YearRangeQuery aggregates items whose headers fall in [loYear, hiYear] —
 // the selectivity knob of the hot/cold experiment (Fig. 11).
 func (e *ERP) YearRangeQuery(loYear, hiYear int) *query.Query {
-	return &query.Query{
-		Tables: []string{THeader, TItem},
-		Joins: []query.JoinEdge{
-			{Left: query.ColRef{Table: THeader, Col: "HeaderID"}, Right: query.ColRef{Table: TItem, Col: "HeaderID"}},
-		},
-		Filters: map[string]expr.Pred{
-			THeader: expr.NewAnd(
-				expr.Cmp{Col: "FiscalYear", Op: expr.Ge, Val: column.IntV(int64(loYear))},
-				expr.Cmp{Col: "FiscalYear", Op: expr.Le, Val: column.IntV(int64(hiYear))},
-			),
-		},
-		GroupBy: []query.ColRef{{Table: TItem, Col: "CategoryID"}},
-		Aggs: []query.AggSpec{
-			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Revenue"},
-			{Func: query.Count, As: "N"},
-		},
-	}
+	return erpYearRangeQuery(loYear, hiYear)
 }
 
 // HeaderCountQuery is a single-table aggregate over Header — the shape used
 // by the maintenance-strategy experiment (Sec. 6.1).
 func (e *ERP) HeaderCountQuery() *query.Query {
-	return &query.Query{
-		Tables:  []string{THeader},
-		GroupBy: []query.ColRef{{Table: THeader, Col: "FiscalYear"}},
-		Aggs: []query.AggSpec{
-			{Func: query.Count, As: "N"},
-		},
-	}
+	return erpHeaderCountQuery()
 }
 
 // ItemRevenueQuery is a single-table aggregate over Item grouped by
 // category: the per-aggregate shape maintained by the materialized-view
 // baselines in the Fig. 6 experiment.
 func (e *ERP) ItemRevenueQuery() *query.Query {
-	return &query.Query{
-		Tables:  []string{TItem},
-		GroupBy: []query.ColRef{{Table: TItem, Col: "CategoryID"}},
-		Aggs: []query.AggSpec{
-			{Func: query.Sum, Col: query.ColRef{Table: TItem, Col: "Price"}, As: "Revenue"},
-			{Func: query.Count, As: "N"},
-		},
-	}
+	return erpItemRevenueQuery()
 }
 
 // NewItemRow builds one item row with zeroed TidItem and TidHeader for
 // external insertion paths (the overhead experiments fill the tids
 // themselves).
 func (e *ERP) NewItemRow(headerID int64) []column.Value {
-	return e.itemRow(headerID, 0, 0)
+	return e.gen.itemRow(headerID, 0, 0)
 }
 
 // NextHeaderID exposes the next unused header id (for external inserts).
-func (e *ERP) NextHeaderID() int64 { return e.nextHeader }
+func (e *ERP) NextHeaderID() int64 { return e.gen.nextHeader }
